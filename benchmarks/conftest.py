@@ -1,0 +1,20 @@
+"""Shared benchmark plumbing.
+
+Every figure/table benchmark runs its experiment exactly once through
+``pytest-benchmark`` (``pedantic`` with one round -- these are minutes-
+scale simulations, not microseconds-scale kernels), prints the
+regenerated rows/series, and asserts the paper's qualitative shape.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run ``fn`` a single time under the benchmark timer."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return _run

@@ -1,0 +1,64 @@
+"""Microbenchmarks of the hot paths (conventional pytest-benchmark use).
+
+These quantify the engine itself: PRINCE throughput (the paper budgets
+126 Mbit/s per chip), SHADOW's translation lookup, the shuffle
+operation, and raw simulator request throughput.
+"""
+
+from repro.core.controller import ShadowBankController
+from repro.dram.subarray import SubarrayLayout
+from repro.sim import System, SystemConfig
+from repro.utils.prince import PrinceCipher
+from repro.utils.rng import PrinceRng, SystemRng
+from repro.workloads import SPEC_PROFILES
+
+LAYOUT = SubarrayLayout()
+
+
+def test_prince_block_throughput(benchmark):
+    cipher = PrinceCipher(0x0123456789ABCDEF_FEDCBA9876543210)
+
+    def encrypt_batch():
+        for i in range(100):
+            cipher.encrypt(i)
+
+    benchmark(encrypt_batch)
+
+
+def test_prince_rng_bits(benchmark):
+    rng = PrinceRng(key=42)
+    benchmark(lambda: rng.next_bits(32))
+
+
+def test_shadow_translate(benchmark):
+    ctrl = ShadowBankController(LAYOUT, raaimt=64, rng=SystemRng(1))
+    for _ in range(64):     # churn the mapping first
+        ctrl.record_activation(7)
+        ctrl.run_rfm()
+
+    def translate_many():
+        for pa in range(0, 8192, 64):
+            ctrl.translate(pa)
+
+    benchmark(translate_many)
+
+
+def test_shadow_shuffle_op(benchmark):
+    ctrl = ShadowBankController(LAYOUT, raaimt=64, rng=SystemRng(2))
+
+    def one_rfm():
+        ctrl.record_activation(123)
+        ctrl.run_rfm()
+
+    benchmark(one_rfm)
+
+
+def test_simulator_throughput(benchmark):
+    """End-to-end requests simulated per benchmark round."""
+    config = SystemConfig(requests_per_thread=400, seed=1)
+
+    def run_small_system():
+        return System([SPEC_PROFILES["gcc"]], config=config).run()
+
+    result = benchmark.pedantic(run_small_system, rounds=3, iterations=1)
+    assert result.requests_issued == 400

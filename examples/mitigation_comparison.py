@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Compare SHADOW against the baseline mitigations on one mix.
+
+Runs mix-blend under each scheme, reporting the relative weighted
+speedup (performance), the mitigation activity (RFMs / TRRs / swaps /
+throttles), and the silicon cost from the area model -- the trade-off
+triangle the paper's Sections III and VII argue about.
+
+Run:  python examples/mitigation_comparison.py
+"""
+
+from repro.analysis.area import AreaModel
+from repro.core import Shadow, ShadowConfig
+from repro.mitigations import (
+    BlockHammer,
+    DoubleRefreshRate,
+    Parfm,
+    RandomizedRowSwap,
+    mithril_area,
+    mithril_perf,
+)
+from repro.sim import ExperimentRunner, SystemConfig
+from repro.workloads import mix_blend
+
+HCNT = 4096
+
+
+def activity(mitigation) -> str:
+    parts = []
+    for attr, label in [("total_shuffles", "shuffles"),
+                        ("trr_count", "TRRs"),
+                        ("swaps", "swaps"),
+                        ("throttled_acts", "throttled ACTs")]:
+        value = getattr(mitigation, attr, None)
+        if callable(value):
+            value = value()
+        if value:
+            parts.append(f"{value} {label}")
+    return ", ".join(parts) or "-"
+
+
+def main() -> None:
+    runner = ExperimentRunner(
+        config=SystemConfig(requests_per_thread=2000, seed=9))
+    profiles = mix_blend(8)
+    area = AreaModel()
+    comparison_mm2 = area.comparison(hcnt=HCNT)
+
+    schemes = {
+        "SHADOW": lambda: Shadow(ShadowConfig(raaimt=64,
+                                              rng_kind="system")),
+        "PARFM": lambda: Parfm.for_hcnt(HCNT),
+        "Mithril-perf": lambda: mithril_perf(HCNT),
+        "Mithril-area": lambda: mithril_area(HCNT),
+        "DRR": DoubleRefreshRate,
+        "BlockHammer": lambda: BlockHammer.for_hcnt(HCNT),
+        "RRS": lambda: RandomizedRowSwap.for_hcnt(HCNT),
+    }
+
+    print(f"mix-blend, 8 threads, Hcnt={HCNT}, DDR4-2666")
+    print(f"{'scheme':14s} {'rel. perf':>9s}  {'chip area':>10s}  activity")
+    for name, factory in schemes.items():
+        instance = factory()
+        rel = runner.relative_performance(profiles, lambda: factory())
+        shared = runner.run_shared(profiles, lambda: instance)
+        area_key = {"SHADOW": "SHADOW", "Mithril-perf": "Mithril-perf",
+                    "Mithril-area": "Mithril-area",
+                    "RRS": "RRS (MC-side)"}.get(name)
+        mm2 = f"{comparison_mm2[area_key]:.2f}mm2" if area_key else "~0"
+        print(f"{name:14s} {rel:9.4f}  {mm2:>10s}  {activity(instance)}")
+
+    report = area.shadow_report()
+    print(f"\nSHADOW silicon: {report.total_mm2:.2f} mm2 "
+          f"({report.fraction_of_die:.2%} of a DDR5 die; paper: 0.47%), "
+          f"capacity overhead {area.capacity_overhead():.2%} "
+          f"(paper: 0.6%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Memory templating: why the shuffle kills the exploit pipeline.
+
+A practical Row Hammer exploit first *templates* memory (hammer, scan
+for flips, record which PA triples work), then massages target data
+onto a templated victim and re-hammers.  Against a static PA-to-DA
+mapping the recorded templates work forever; SHADOW's continuous
+shuffle makes them stale before they can be used (paper Section III-A).
+
+Run:  python examples/templating_attack.py
+"""
+
+from repro.rowhammer.templating import TemplatingCampaign
+
+
+def main() -> None:
+    print("Templating campaign: probe double-sided pairs across a "
+          "subarray,\nthen try to reuse every recorded template.\n")
+
+    for label, shadow in (("static mapping (undefended)", False),
+                          ("SHADOW (shuffle every RFM)", True)):
+        report = TemplatingCampaign(shadow=shadow, seed=11).run()
+        print(f"== {label} ==")
+        print(f"  templates found during probing : {report.templates_found}")
+        print(f"  exploit attempts               : {report.exploit_attempts}")
+        print(f"  still-working templates        : {report.exploit_successes}")
+        print(f"  template reuse rate            : {report.reuse_rate:.0%}\n")
+
+    print("With the static mapping every recorded (aggressor, victim)\n"
+          "triple keeps working: one templated flip is a durable\n"
+          "primitive.  Under SHADOW the aggressors the attacker recorded\n"
+          "no longer sit next to the victim by exploit time, so the\n"
+          "template yield collapses -- the attacker cannot aim.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,204 @@
+"""Analytical circuit-timing model reproducing Table III.
+
+The paper derives its timing numbers from SPICE simulation of a 55 nm
+Rambus subarray scaled to 22 nm.  Every row of Table III follows from
+three physical mechanisms, which this model captures analytically:
+
+1. **Charge-sharing sensing.**  Sensing time grows with the total
+   capacitance on the sensing node.  A cell sharing charge with a full
+   bitline (C_bl ~ 85 fF for 512 cells) produces a small swing and a
+   long amplify time; the isolation transistor leaves only a stub of
+   bitline (>100x less capacitance), so the remapping row senses in a
+   fraction of the time.  We use the first-order linear model
+   ``t_sense = (C_cell + C_bl_effective) / g_eff`` with ``g_eff``
+   calibrated so the baseline matches the published 13.7 ns tRCD.
+2. **Wire RC for the DA traversal.**  The remapping data crosses half
+   the bank (height + width halves, per the paper's conservative
+   Samsung-DDR4 floorplan assumption); Elmore delay with datasheet
+   wire parasitics gives ~1 ns.
+3. **Write recovery split.**  tWR is part cell-limited (access
+   transistor x cell cap) and part bitline-limited; only the bitline
+   share shrinks with isolation, giving the paper's modest -24%.
+
+The row-copy number additionally uses the paper's SPICE observation
+that writing a fully-driven row buffer into a destination row takes
+0.55x the restore time (small destination capacitance).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CircuitParams:
+    """Physical quantities (22 nm-scaled DRAM, literature values)."""
+
+    vdd: float = 1.1                     # DDR5 core voltage
+    c_cell_ff: float = 20.0              # storage cell capacitance
+    c_bitline_ff: float = 85.0           # full bitline (512 cells)
+    isolation_cap_ratio: float = 110.0   # C_bl reduction (paper: >100x)
+
+    # Decode path.
+    t_global_decode_ns: float = 1.0
+    t_local_decode_ns: float = 0.7
+    t_rra_decode_ns: float = 0.33        # paper: RRA wordline raise
+
+    # Published baselines the model calibrates against.
+    baseline_trcd_ns: float = 13.7
+    baseline_twr_ns: float = 11.8
+    baseline_taa_ns: float = 13.7
+
+    # Wire parasitics for the remapping-data traversal.
+    wire_r_ohm_per_mm: float = 800.0
+    wire_c_ff_per_mm: float = 200.0
+    half_bank_mm: float = 3.0            # half height + half width
+    repeater_overhead_ns: float = 0.35
+
+    # Write recovery: share of tWR limited by the bitline RC.
+    twr_bitline_share: float = 0.25
+
+    # SPICE-level restore/precharge of the Rambus subarray (these are
+    # circuit times, slightly longer than the JEDEC datasheet values the
+    # simulator uses, because the datasheet adds no margin here).
+    spice_restore_ns: float = 38.0
+    spice_precharge_ns: float = 15.0
+    copy_writeback_factor: float = 0.55  # destination write vs restore
+
+    # Output MUX / latch margin on the remapping read path.
+    t_mux_margin_ns: float = 0.3
+
+
+@dataclass(frozen=True)
+class TableIII:
+    """The reproduced Table III (nanoseconds)."""
+
+    trcd_prime_ns: float
+    trcd_baseline_ns: float
+    row_copy_ns: float
+    trcd_rm_ns: float
+    twr_rm_ns: float
+    twr_baseline_ns: float
+    trd_rm_ns: float
+
+    @property
+    def trcd_ratio(self) -> float:
+        """tRCD' vs baseline (paper: +29%)."""
+        return self.trcd_prime_ns / self.trcd_baseline_ns - 1.0
+
+    @property
+    def trcd_rm_ratio(self) -> float:
+        """Remapping-row sensing vs baseline tRCD (paper: -83%)."""
+        return self.trcd_rm_ns / self.trcd_baseline_ns - 1.0
+
+    @property
+    def twr_rm_ratio(self) -> float:
+        """Remapping-row write recovery vs baseline tWR (paper: -24%)."""
+        return self.twr_rm_ns / self.twr_baseline_ns - 1.0
+
+    @property
+    def trd_rm_ratio(self) -> float:
+        """Remapping-row read vs baseline tRCD (paper: -71%)."""
+        return self.trd_rm_ns / self.trcd_baseline_ns - 1.0
+
+    def rows(self):
+        """(definition, abbreviation, timing, baseline, ratio) tuples,
+        mirroring the paper's table layout."""
+        return [
+            ("Row activation in SHADOW", "tRCD'", self.trcd_prime_ns,
+             self.trcd_baseline_ns, self.trcd_ratio),
+            ("Row copy w/ precharge", "-", self.row_copy_ns, None, None),
+            ("Remapping-row sensing", "tRCD_RM", self.trcd_rm_ns,
+             self.trcd_baseline_ns, self.trcd_rm_ratio),
+            ("Remapping-row write recovery", "tWR_RM", self.twr_rm_ns,
+             self.twr_baseline_ns, self.twr_rm_ratio),
+            ("Remapping-row read latency", "tRD_RM", self.trd_rm_ns,
+             self.trcd_baseline_ns, self.trd_rm_ratio),
+        ]
+
+
+class CircuitModel:
+    """Derives every Table III row from :class:`CircuitParams`."""
+
+    def __init__(self, params: CircuitParams = CircuitParams()):
+        self.params = params
+        p = params
+        # Calibrate the sensing conductance so a full-bitline activation
+        # reproduces the published baseline tRCD.
+        sense_budget = (p.baseline_trcd_ns - p.t_global_decode_ns
+                        - p.t_local_decode_ns)
+        if sense_budget <= 0:
+            raise ValueError("decode times exceed the baseline tRCD")
+        self._g_eff = (p.c_cell_ff + p.c_bitline_ff) / sense_budget
+
+    # -- sensing ------------------------------------------------------------------
+
+    def sense_time_ns(self, isolated: bool) -> float:
+        """Charge-sharing + amplification time for one activation."""
+        p = self.params
+        c_bl = p.c_bitline_ff / (p.isolation_cap_ratio if isolated else 1.0)
+        return (p.c_cell_ff + c_bl) / self._g_eff
+
+    def charge_sharing_swing_mv(self, isolated: bool) -> float:
+        """The initial bitline swing dV = Vdd/2 * C_cell/(C_cell + C_bl)."""
+        p = self.params
+        c_bl = p.c_bitline_ff / (p.isolation_cap_ratio if isolated else 1.0)
+        return 1000.0 * (p.vdd / 2.0) * p.c_cell_ff / (p.c_cell_ff + c_bl)
+
+    # -- wires --------------------------------------------------------------------
+
+    def da_traversal_ns(self) -> float:
+        """Elmore delay of the remapping-data wire to the paired subarray."""
+        p = self.params
+        r_total = p.wire_r_ohm_per_mm * p.half_bank_mm
+        c_total = p.wire_c_ff_per_mm * 1e-15 * p.half_bank_mm
+        elmore_s = 0.5 * r_total * c_total
+        return elmore_s * 1e9 + p.repeater_overhead_ns
+
+    # -- Table III rows ---------------------------------------------------------------
+
+    def trcd_rm_ns(self) -> float:
+        """Remapping-row sensing: decode via RRA + isolated sensing."""
+        return self.params.t_rra_decode_ns + self.sense_time_ns(isolated=True)
+
+    def trd_rm_ns(self) -> float:
+        """Full remapping-row read: sensing + DA traversal + mux."""
+        return (self.trcd_rm_ns() + self.da_traversal_ns()
+                + self.params.t_mux_margin_ns)
+
+    def twr_rm_ns(self) -> float:
+        """Write recovery: only the bitline-limited share shrinks."""
+        p = self.params
+        cell_part = p.baseline_twr_ns * (1.0 - p.twr_bitline_share)
+        bl_part = (p.baseline_twr_ns * p.twr_bitline_share
+                   / p.isolation_cap_ratio)
+        return cell_part + bl_part
+
+    def trcd_prime_ns(self) -> float:
+        return self.params.baseline_trcd_ns + self.trd_rm_ns()
+
+    def row_copy_ns(self) -> float:
+        """Sense + restore the source, write the destination, precharge."""
+        p = self.params
+        return (p.spice_restore_ns * (1.0 + p.copy_writeback_factor)
+                + p.spice_precharge_ns)
+
+    def table3(self) -> TableIII:
+        p = self.params
+        return TableIII(
+            trcd_prime_ns=round(self.trcd_prime_ns(), 1),
+            trcd_baseline_ns=p.baseline_trcd_ns,
+            row_copy_ns=round(self.row_copy_ns(), 1),
+            trcd_rm_ns=round(self.trcd_rm_ns(), 1),
+            twr_rm_ns=round(self.twr_rm_ns(), 1),
+            twr_baseline_ns=p.baseline_twr_ns,
+            trd_rm_ns=round(self.trd_rm_ns(), 1),
+        )
+
+    def shuffle_total_ns(self, tras_ns: float, trp_ns: float) -> float:
+        """Section VII-B revised total: tRD_RM + tRAS + tRP + 3.1 tRAS
+        + 2 tRP for a given speed grade."""
+        f = self.params.copy_writeback_factor
+        return (self.trd_rm_ns() + tras_ns + trp_ns
+                + 2 * (1 + f) * tras_ns + 2 * trp_ns)

@@ -1,0 +1,98 @@
+"""Monte Carlo adversarial-pattern analysis (paper Section VII-A).
+
+Runs the real SHADOW mechanism (remapping rows, per-RFM shuffle,
+incremental refresh) against the Section VII-A adversaries and observes
+the disturbance model directly -- no closed-form approximations.  This
+validates the *shape* of the Appendix XI math (which conservatively
+over-estimates flips) and supports scaled-down parameters so empirical
+flip rates are measurable in reasonable time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.controller import ShadowBankController
+from repro.dram.device import BankAddress
+from repro.dram.subarray import SubarrayLayout
+from repro.rowhammer.model import DisturbanceModel, HammerConfig
+from repro.utils.rng import RandomSource, SystemRng
+
+_ADDR = BankAddress(0, 0, 0)
+
+
+@dataclass(frozen=True)
+class MonteCarloResult:
+    """Outcome of one simulated attack campaign."""
+
+    flipped: bool
+    intervals_run: int
+    total_acts: int
+    first_flip_interval: Optional[int]
+    max_disturbance: float
+
+
+def simulate_attack(attacker, layout: SubarrayLayout, hcnt: int,
+                    raaimt: int, intervals: int,
+                    blast_radius: int = 3,
+                    shadow_rng: Optional[RandomSource] = None,
+                    incremental_refresh: bool = True,
+                    shuffle: bool = True) -> MonteCarloResult:
+    """Run ``intervals`` RFM intervals of an attack against SHADOW.
+
+    ``attacker`` provides ``interval_rows(i, acts)`` (the Section VII-A
+    adversaries).  ``shuffle=False`` and ``incremental_refresh=False``
+    expose the ablations: a pure-RFM defence and shuffle-only SHADOW.
+    """
+    if intervals <= 0:
+        raise ValueError("intervals must be positive")
+    ctrl = ShadowBankController(
+        layout, raaimt=raaimt, rng=shadow_rng or SystemRng(0xC0FFEE),
+        incremental_refresh=incremental_refresh)
+    model = DisturbanceModel(
+        HammerConfig(hcnt=hcnt, blast_radius=blast_radius, layout=layout))
+
+    first_flip = None
+    for interval in range(intervals):
+        for pa_row in attacker.interval_rows(interval, raaimt):
+            da = ctrl.translate(pa_row)
+            model.on_activate(_ADDR, da, cycle=interval)
+            ctrl.record_activation(pa_row)
+        if model.flipped and first_flip is None:
+            first_flip = interval
+            break
+        if shuffle:
+            refreshed, copies = ctrl.run_rfm()
+            for row in refreshed:
+                model.on_row_refresh(_ADDR, row, cycle=interval)
+            for src, dst in copies:
+                model.on_row_copy(_ADDR, src, dst, cycle=interval)
+        ctrl.check_invariants()
+
+    return MonteCarloResult(
+        flipped=model.flipped,
+        intervals_run=interval + 1,
+        total_acts=model.total_acts,
+        first_flip_interval=first_flip,
+        max_disturbance=model.max_disturbance(),
+    )
+
+
+def flip_rate(make_attacker: Callable[[int], object],
+              layout: SubarrayLayout, hcnt: int, raaimt: int,
+              intervals: int, trials: int,
+              blast_radius: int = 3, seed: int = 1,
+              **kw) -> float:
+    """Fraction of ``trials`` campaigns that produced a bit-flip."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    flips = 0
+    for t in range(trials):
+        attacker = make_attacker(seed * 7919 + t)
+        result = simulate_attack(
+            attacker, layout, hcnt, raaimt, intervals,
+            blast_radius=blast_radius,
+            shadow_rng=SystemRng(seed * 104729 + t), **kw)
+        flips += int(result.flipped)
+    return flips / trials

@@ -1,0 +1,194 @@
+"""IDD-based DRAM power model + system-level roll-up (Figure 12).
+
+Follows the Micron DDR4 system-power-calculator methodology [56]: each
+command class contributes ``V x I x t`` energy above background, scaled
+by measured command counts.  SHADOW adds two terms:
+
+* a remapping-row access on *every* ACT -- tiny per event (the isolated
+  bitline has ~1% of the switched capacitance) but, as the paper notes,
+  it dominates SHADOW's power because it scales with all traffic;
+* RFM work: 3.1 activate-equivalents of row copies plus one
+  incremental-refresh ACT/PRE pair.
+
+The system roll-up adds the CPU at TDP (the paper's i9-7940X, 165 W)
+so the relative numbers land on the same scale as Figure 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.dram.timing import DDR4_2666, TimingParams
+
+
+@dataclass(frozen=True)
+class IddValues:
+    """Datasheet current values for one device (mA)."""
+
+    vdd: float = 1.2
+    idd0: float = 55.0     # one-bank ACT-PRE
+    idd2n: float = 35.0    # precharge standby (background)
+    idd3n: float = 45.0    # active standby
+    idd4r: float = 150.0   # read burst
+    idd4w: float = 140.0   # write burst
+    idd5b: float = 190.0   # burst refresh
+
+
+#: Fraction of a full activation's energy that one remapping-row access
+#: costs.  The isolation transistor shrinks the *bitline* switching by
+#: >100x, but the wordline drive, the sense amplifier bias and the DA
+#: transfer across half the bank remain, leaving roughly a tenth of an
+#: ordinary activation.
+REMAP_ACCESS_ENERGY_FRACTION = 0.10
+
+#: Activate-equivalents of one SHADOW RFM's row-shuffle work: two row
+#: copies at 1.55x tRAS each, normalized to ACT-PRE energy.
+SHUFFLE_ACT_EQUIVALENTS = 3.1
+
+
+@dataclass
+class CommandCounts:
+    """What a workload did during ``elapsed_cycles``."""
+
+    acts: int = 0
+    reads: int = 0
+    writes: int = 0
+    refreshes: int = 0          # per-rank REF commands (counted per device)
+    rfms: int = 0
+    elapsed_cycles: int = 0
+
+    @classmethod
+    def from_stats(cls, stats, refs: int, elapsed_cycles: int
+                   ) -> "CommandCounts":
+        """Build from a :class:`repro.dram.bank.BankStats` aggregate."""
+        return cls(acts=stats.acts, reads=stats.reads, writes=stats.writes,
+                   refreshes=refs, rfms=stats.rfms,
+                   elapsed_cycles=elapsed_cycles)
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Per-component device power (watts)."""
+
+    background_w: float
+    activate_w: float
+    read_w: float
+    write_w: float
+    refresh_w: float
+    rfm_w: float
+    remap_access_w: float
+
+    @property
+    def total_w(self) -> float:
+        return (self.background_w + self.activate_w + self.read_w
+                + self.write_w + self.refresh_w + self.rfm_w
+                + self.remap_access_w)
+
+    def breakdown(self) -> Dict[str, float]:
+        return {
+            "background": self.background_w,
+            "activate": self.activate_w,
+            "read": self.read_w,
+            "write": self.write_w,
+            "refresh": self.refresh_w,
+            "rfm": self.rfm_w,
+            "remap-access": self.remap_access_w,
+        }
+
+
+class PowerModel:
+    """Device-level power from command counts."""
+
+    def __init__(self, timing: TimingParams = DDR4_2666,
+                 idd: IddValues = IddValues(),
+                 shadow: bool = False,
+                 rfm_act_equivalents: float = SHUFFLE_ACT_EQUIVALENTS):
+        self.timing = timing
+        self.idd = idd
+        self.shadow = shadow
+        self.rfm_act_equivalents = rfm_act_equivalents
+
+    # -- per-event energies (joules) ----------------------------------------------
+
+    def energy_act_j(self) -> float:
+        t = self.timing.nanoseconds(self.timing.tRC) * 1e-9
+        return self.idd.vdd * (self.idd.idd0 - self.idd.idd2n) * 1e-3 * t
+
+    def energy_rd_j(self) -> float:
+        t = self.timing.nanoseconds(self.timing.tBL) * 1e-9
+        return self.idd.vdd * (self.idd.idd4r - self.idd.idd3n) * 1e-3 * t
+
+    def energy_wr_j(self) -> float:
+        t = self.timing.nanoseconds(self.timing.tBL) * 1e-9
+        return self.idd.vdd * (self.idd.idd4w - self.idd.idd3n) * 1e-3 * t
+
+    def energy_ref_j(self) -> float:
+        t = self.timing.nanoseconds(self.timing.tRFC) * 1e-9
+        return self.idd.vdd * (self.idd.idd5b - self.idd.idd2n) * 1e-3 * t
+
+    def energy_rfm_j(self) -> float:
+        """Row-shuffle copies + incremental refresh (SHADOW) or the
+        TRR refreshes of an RFM-hosted baseline (~2 ACT equivalents)."""
+        eq = self.rfm_act_equivalents if self.shadow else 2.0
+        extra_ir = 1.0 if self.shadow else 0.0
+        return (eq + extra_ir) * self.energy_act_j()
+
+    def energy_remap_access_j(self) -> float:
+        return REMAP_ACCESS_ENERGY_FRACTION * self.energy_act_j()
+
+    # -- roll-up ---------------------------------------------------------------------
+
+    def report(self, counts: CommandCounts) -> PowerReport:
+        if counts.elapsed_cycles <= 0:
+            raise ValueError("elapsed_cycles must be positive")
+        seconds = self.timing.nanoseconds(counts.elapsed_cycles) * 1e-9
+        background = self.idd.vdd * self.idd.idd2n * 1e-3
+
+        def rate(events: int, energy: float) -> float:
+            return events * energy / seconds
+
+        remap_w = 0.0
+        if self.shadow:
+            remap_w = rate(counts.acts, self.energy_remap_access_j())
+        return PowerReport(
+            background_w=background,
+            activate_w=rate(counts.acts, self.energy_act_j()),
+            read_w=rate(counts.reads, self.energy_rd_j()),
+            write_w=rate(counts.writes, self.energy_wr_j()),
+            refresh_w=rate(counts.refreshes, self.energy_ref_j()),
+            rfm_w=rate(counts.rfms, self.energy_rfm_j()),
+            remap_access_w=remap_w,
+        )
+
+
+class SystemPowerModel:
+    """CPU TDP + all DRAM devices: the Figure 12 denominator.
+
+    ``counts`` are system-wide command totals: background power is per
+    device (times the device count), while each command's dynamic
+    energy is charged exactly once.
+    """
+
+    def __init__(self, cpu_tdp_w: float = 165.0, devices: int = 32,
+                 timing: TimingParams = DDR4_2666):
+        if cpu_tdp_w <= 0 or devices <= 0:
+            raise ValueError("cpu_tdp_w and devices must be positive")
+        self.cpu_tdp_w = cpu_tdp_w
+        self.devices = devices
+        self.timing = timing
+
+    def system_power_w(self, counts: CommandCounts,
+                       shadow: bool = False) -> float:
+        model = PowerModel(self.timing, shadow=shadow)
+        report = model.report(counts)
+        dynamic = report.total_w - report.background_w
+        return (self.cpu_tdp_w + self.devices * report.background_w
+                + dynamic)
+
+    def relative_power(self, counts_mitigated: CommandCounts,
+                       counts_baseline: CommandCounts,
+                       shadow: bool = True) -> float:
+        """Figure 12's y-axis: mitigated system power / baseline's."""
+        return (self.system_power_w(counts_mitigated, shadow=shadow)
+                / self.system_power_w(counts_baseline, shadow=False))

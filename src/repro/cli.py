@@ -1,0 +1,205 @@
+"""Unified command-line interface.
+
+``python -m repro.cli <command>`` (or the installed ``shadow-repro``
+script) bundles the common flows:
+
+* ``run``       -- simulate a workload under a chosen mitigation
+* ``attack``    -- drive a Row Hammer pattern and report flips
+* ``security``  -- evaluate the Appendix XI bounds for a configuration
+* ``experiment``-- run a paper table/figure driver by name
+* ``templating``-- templating campaign (static vs SHADOW)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.security import SecurityAnalysis, SecurityParams
+from repro.core import Shadow, ShadowConfig
+from repro.core.config import secure_raaimt
+from repro.mitigations import (
+    BlockHammer,
+    DoubleRefreshRate,
+    NoMitigation,
+    Parfm,
+    RandomizedRowSwap,
+    mithril_area,
+    mithril_perf,
+)
+from repro.rowhammer.templating import TemplatingCampaign
+from repro.sim import System, SystemConfig
+from repro.workloads import SPEC_PROFILES, mix_blend, mix_high
+
+SCHEMES = {
+    "none": NoMitigation,
+    "shadow": None,      # built per-hcnt below
+    "parfm": None,
+    "mithril-perf": None,
+    "mithril-area": None,
+    "blockhammer": None,
+    "rrs": None,
+    "drr": DoubleRefreshRate,
+}
+
+
+def make_scheme(name: str, hcnt: int):
+    """Instantiate a mitigation by CLI name at a threshold."""
+    if name == "none":
+        return NoMitigation()
+    if name == "shadow":
+        return Shadow(ShadowConfig(raaimt=secure_raaimt(hcnt),
+                                   rng_kind="system"))
+    if name == "parfm":
+        return Parfm.for_hcnt(hcnt)
+    if name == "mithril-perf":
+        return mithril_perf(hcnt)
+    if name == "mithril-area":
+        return mithril_area(hcnt)
+    if name == "blockhammer":
+        return BlockHammer.for_hcnt(hcnt)
+    if name == "rrs":
+        return RandomizedRowSwap.for_hcnt(hcnt)
+    if name == "drr":
+        return DoubleRefreshRate()
+    raise SystemExit(f"unknown scheme {name!r}; choose from "
+                     f"{sorted(SCHEMES)}")
+
+
+def cmd_run(args) -> int:
+    """Handle ``shadow-repro run``."""
+    if args.workload in SPEC_PROFILES:
+        profiles = [SPEC_PROFILES[args.workload]] * args.threads
+    elif args.workload == "mix-high":
+        profiles = mix_high(args.threads)
+    elif args.workload == "mix-blend":
+        profiles = mix_blend(args.threads)
+    else:
+        raise SystemExit(
+            f"unknown workload {args.workload!r}; use a SPEC app name, "
+            f"'mix-high' or 'mix-blend'")
+    mitigation = make_scheme(args.scheme, args.hcnt)
+    config = SystemConfig(requests_per_thread=args.requests,
+                          seed=args.seed)
+    result = System(profiles, mitigation, config=config).run()
+    print(f"workload={args.workload} threads={args.threads} "
+          f"scheme={result.mitigation_name}")
+    print(f"cycles={result.cycles} requests={result.requests_issued} "
+          f"acts={result.stats.acts} row_hits={result.stats.row_hits} "
+          f"refreshes={result.refreshes} rfms={result.rfms}")
+    return 0
+
+
+def cmd_security(args) -> int:
+    """Handle ``shadow-repro security``."""
+    analysis = SecurityAnalysis(
+        SecurityParams(hcnt=args.hcnt, raaimt=args.raaimt))
+    r = analysis.rank_year()
+    print(f"Hcnt={args.hcnt} RAAIMT={args.raaimt}: "
+          f"P(bit-flip per rank-year) = {r['overall']:.3e}")
+    for key in ("scenario1", "scenario2", "scenario3"):
+        print(f"  {key}: {r[key]:.3e}")
+    print("secure (<1%/rank-year):", r["overall"] < 0.01)
+    return 0
+
+
+def cmd_attack(args) -> int:
+    """Handle ``shadow-repro attack`` (exit 1 on a bit-flip)."""
+    from repro.analysis.montecarlo import simulate_attack
+    from repro.dram.subarray import SubarrayLayout
+    from repro.rowhammer.adversary import (
+        ScenarioIAttacker, ScenarioIIAttacker)
+    from repro.utils.rng import SystemRng
+
+    layout = SubarrayLayout(subarrays_per_bank=2,
+                            rows_per_subarray=args.rows)
+    if args.scenario == 1:
+        attacker = ScenarioIAttacker(layout, 0, SystemRng(args.seed))
+    else:
+        attacker = ScenarioIIAttacker(layout, 0, args.aggressors,
+                                      SystemRng(args.seed))
+    result = simulate_attack(attacker, layout, hcnt=args.hcnt,
+                             raaimt=args.raaimt, intervals=args.intervals,
+                             shuffle=not args.no_shuffle)
+    print(f"scenario={args.scenario} hcnt={args.hcnt} "
+          f"raaimt={args.raaimt} shuffle={not args.no_shuffle}")
+    print(f"flipped={result.flipped} acts={result.total_acts} "
+          f"max_disturbance={result.max_disturbance:.1f}")
+    return 1 if result.flipped else 0
+
+
+def cmd_templating(args) -> int:
+    """Handle ``shadow-repro templating``."""
+    for label, shadow in (("static", False), ("shadow", True)):
+        report = TemplatingCampaign(shadow=shadow, seed=args.seed).run()
+        print(f"{label}: templates={report.templates_found} "
+              f"reuse_rate={report.reuse_rate:.0%}")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    """Handle ``shadow-repro experiment <name>``."""
+    import importlib
+    module = importlib.import_module(f"repro.experiments.{args.name}")
+    sys.argv = [args.name] + ([args.fidelity] if args.fidelity else [])
+    module.main()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="shadow-repro",
+        description="SHADOW (HPCA 2023) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="simulate a workload")
+    run_p.add_argument("--workload", default="mcf")
+    run_p.add_argument("--scheme", default="shadow",
+                       choices=sorted(SCHEMES))
+    run_p.add_argument("--hcnt", type=int, default=4096)
+    run_p.add_argument("--threads", type=int, default=1)
+    run_p.add_argument("--requests", type=int, default=2000)
+    run_p.add_argument("--seed", type=int, default=1)
+    run_p.set_defaults(func=cmd_run)
+
+    sec_p = sub.add_parser("security", help="Appendix XI bounds")
+    sec_p.add_argument("--hcnt", type=int, default=4096)
+    sec_p.add_argument("--raaimt", type=int, default=64)
+    sec_p.set_defaults(func=cmd_security)
+
+    atk_p = sub.add_parser("attack", help="Monte Carlo adversary")
+    atk_p.add_argument("--scenario", type=int, choices=(1, 2), default=1)
+    atk_p.add_argument("--hcnt", type=int, default=64)
+    atk_p.add_argument("--raaimt", type=int, default=16)
+    atk_p.add_argument("--rows", type=int, default=32)
+    atk_p.add_argument("--aggressors", type=int, default=4)
+    atk_p.add_argument("--intervals", type=int, default=200)
+    atk_p.add_argument("--seed", type=int, default=1)
+    atk_p.add_argument("--no-shuffle", action="store_true")
+    atk_p.set_defaults(func=cmd_attack)
+
+    tmpl_p = sub.add_parser("templating", help="templating campaign")
+    tmpl_p.add_argument("--seed", type=int, default=1)
+    tmpl_p.set_defaults(func=cmd_templating)
+
+    exp_p = sub.add_parser("experiment", help="run a table/figure driver")
+    exp_p.add_argument("name", choices=["table2", "table3", "fig8",
+                                        "fig9", "fig10", "fig11",
+                                        "fig12", "ablations", "extended"])
+    exp_p.add_argument("fidelity", nargs="?", choices=["smoke", "full"])
+    exp_p.set_defaults(func=cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Console entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

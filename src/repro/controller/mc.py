@@ -1,0 +1,414 @@
+"""The memory controller: FR-FCFS scheduling, refresh, and RFM issue.
+
+The controller drives the :class:`~repro.dram.device.DramDevice` at
+command granularity.  Scheduling policy:
+
+* open-page row policy with FR-FCFS: ready column commands (row hits)
+  beat row commands; ties break by request age;
+* auto-refresh: once a rank's REF is due, demand to that rank is
+  suspended, open banks are drained with PREs, and REF issues (tRFC);
+* RFM: when a bank's RAA counter reaches RAAIMT (and the active
+  mitigation uses the RFM interface), new ACTs to that bank are
+  suspended, the bank is precharged, and an RFM command issues; the
+  mitigation performs its in-DRAM work inside the tRFM window;
+* mitigation effects (extra ACT latency, throttling delays, TRR
+  refreshes, channel-blocking swaps, PA-to-DA translation) are applied
+  exactly where the hardware would apply them.
+
+The controller reports every row-touching action (ACT in DA space,
+refresh ranges, TRR refreshes, row copies) to an optional Row Hammer
+observer so security and performance experiments share one source of
+truth.
+
+Implementation note: this is the simulator's hottest code.  Requests
+carry a cached DA translation tagged with the mitigation's per-bank
+*translation generation* so the (potentially dynamic) PA-to-DA mapping
+is only re-evaluated after a shuffle/swap actually changed it, and
+scheduling candidates are plain tuples dispatched by opcode rather than
+closures.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.controller.request import MemoryRequest
+from repro.controller.rfm import RaaCounterBank
+from repro.dram.commands import CommandType
+from repro.dram.device import BankAddress, DramDevice
+from repro.dram.refresh import RefreshTracker
+from repro.mitigations.base import Mitigation
+
+_PRIO_REFRESH = 0
+_PRIO_RFM = 1
+_PRIO_HIT = 2
+_PRIO_DEMAND = 3
+
+# Candidate opcodes.
+_OP_PRE = 0
+_OP_ACT = 1
+_OP_COL = 2
+_OP_REF = 3
+_OP_RFM = 4
+
+
+@dataclass
+class McConfig:
+    """Controller policy knobs."""
+
+    enable_refresh: bool = True
+    #: Count an RFM's internal work beyond tRFM (mitigations whose work
+    #: exceeds the provisioned window extend the blocking time).
+    strict_rfm_window: bool = False
+
+
+class _BankCtx:
+    """Pre-resolved per-bank scheduling state (hot-path bundle)."""
+
+    __slots__ = ("addr", "bank", "queue", "rank_key", "group")
+
+    def __init__(self, addr: BankAddress, bank, rank_key, group):
+        self.addr = addr
+        self.bank = bank
+        self.queue: Deque[MemoryRequest] = deque()
+        self.rank_key = rank_key
+        self.group = group
+
+
+class MemoryController:
+    """One controller managing every channel of a :class:`DramDevice`."""
+
+    def __init__(self, device: DramDevice, mitigation: Mitigation,
+                 observer=None, config: Optional[McConfig] = None):
+        self.device = device
+        self.mitigation = mitigation
+        self.observer = observer
+        self.config = config or McConfig()
+
+        geometry = device.geometry
+        mitigation.bind(geometry, device.timing)
+
+        self._timing = device.timing
+        self._act_extra = mitigation.act_extra_cycles
+
+        scale = mitigation.refresh_interval_scale
+        trefi = max(1, int(device.timing.tREFI * scale))
+        refresh_timing = device.timing.with_refresh_interval(trefi)
+        self.refresh: Dict[Tuple[int, int], RefreshTracker] = {}
+        if self.config.enable_refresh:
+            self.refresh = {
+                (ch, rk): RefreshTracker(
+                    refresh_timing, geometry.layout.da_rows_per_bank)
+                for ch in range(geometry.channels)
+                for rk in range(geometry.ranks_per_channel)
+            }
+
+        self.raa: Optional[RaaCounterBank] = None
+        if mitigation.uses_rfm:
+            self.raa = RaaCounterBank(mitigation.raaimt)
+
+        # Per-bank contexts, grouped per channel and per rank.
+        self._ctx: Dict[BankAddress, _BankCtx] = {}
+        self._rank_banks: Dict[Tuple[int, int], List[_BankCtx]] = {}
+        for addr in geometry.bank_addresses():
+            ctx = _BankCtx(addr, device.banks[addr],
+                           (addr.channel, addr.rank),
+                           geometry.bank_group_of(addr.bank))
+            self._ctx[addr] = ctx
+            self._rank_banks.setdefault(ctx.rank_key, []).append(ctx)
+        self._active: Dict[int, List[_BankCtx]] = {
+            ch: [] for ch in range(geometry.channels)}
+
+        self.enqueued = 0
+        self.retired = 0
+
+    # -- request intake ----------------------------------------------------------
+
+    @property
+    def queues(self) -> Dict[BankAddress, Deque[MemoryRequest]]:
+        """Per-bank queues (read-only view for tests/tools)."""
+        return {addr: ctx.queue for addr, ctx in self._ctx.items()
+                if ctx.queue}
+
+    def enqueue(self, request: MemoryRequest) -> None:
+        addr = request.location.bank_address
+        ctx = self._ctx.get(addr)
+        if ctx is None:
+            raise ValueError(f"bank address {addr} outside geometry")
+        if not ctx.queue:
+            self._active[addr.channel].append(ctx)
+        ctx.queue.append(request)
+        self.enqueued += 1
+
+    def pending_requests(self, channel: Optional[int] = None) -> int:
+        if channel is None:
+            return sum(len(c.queue) for cs in self._active.values()
+                       for c in cs)
+        return sum(len(c.queue) for c in self._active[channel])
+
+    # -- main scheduling entry point ------------------------------------------------
+
+    def drain(self, channel: int, until: int
+              ) -> Tuple[List[Tuple[MemoryRequest, int]], Optional[int]]:
+        """Issue every command on ``channel`` whose time is <= ``until``.
+
+        Returns the requests whose data completed (with completion
+        cycles) and the next cycle the channel should be re-examined
+        (``None`` if it is fully idle with no future obligations).
+        """
+        completions: List[Tuple[MemoryRequest, int]] = []
+        while True:
+            best = self._best_candidate(channel, until)
+            if best is None:
+                return completions, self._idle_wake(channel, until)
+            earliest = best[0]
+            if earliest > until:
+                return completions, earliest
+            done = self._execute(best)
+            if done is not None:
+                completions.append(done)
+                self.retired += 1
+
+    # -- candidate generation ---------------------------------------------------------
+
+    def _best_candidate(self, channel: int, until: int):
+        """Find the (earliest, prio, age, op, ctx, request) candidate."""
+        chan = self.device.channels[channel]
+        timing = self._timing
+        mitigation = self.mitigation
+        best = None
+
+        refresh_draining_ranks = None
+        for rank_index in range(self.device.geometry.ranks_per_channel):
+            tracker = self.refresh.get((channel, rank_index))
+            if tracker is None or tracker.next_due > until:
+                continue
+            if refresh_draining_ranks is None:
+                refresh_draining_ranks = set()
+            refresh_draining_ranks.add(rank_index)
+            cand = self._refresh_candidate(channel, rank_index, tracker,
+                                           chan)
+            if cand is not None and (best is None or cand[:3] < best[:3]):
+                best = cand
+
+        rfm_banks = None
+        if self.raa is not None:
+            for addr in self.raa.banks_needing_rfm():
+                if addr.channel != channel:
+                    continue
+                if refresh_draining_ranks and \
+                        addr.rank in refresh_draining_ranks:
+                    continue  # refresh first; REF also credits RAA
+                ctx = self._ctx[addr]
+                if rfm_banks is None:
+                    rfm_banks = set()
+                rfm_banks.add(addr)
+                cand = self._rfm_candidate(ctx, chan)
+                if best is None or cand[:3] < best[:3]:
+                    best = cand
+
+        active = self._active[channel]
+        removals = False
+        for ctx in active:
+            if not ctx.queue:
+                removals = True
+                continue
+            if refresh_draining_ranks and \
+                    ctx.addr.rank in refresh_draining_ranks:
+                continue
+            if rfm_banks and ctx.addr in rfm_banks:
+                continue
+            cand = self._demand_candidate(ctx, chan, timing, mitigation)
+            if best is None or cand[:3] < best[:3]:
+                best = cand
+        if removals:
+            self._active[channel] = [c for c in active if c.queue]
+        return best
+
+    def _refresh_candidate(self, channel: int, rank_index: int,
+                           tracker: RefreshTracker, chan):
+        banks = self._rank_banks[(channel, rank_index)]
+        open_ctxs = [c for c in banks if c.bank.open_row is not None]
+        if open_ctxs:
+            best = None
+            for ctx in open_ctxs:
+                earliest = chan.earliest_command(
+                    ctx.bank.earliest_issue(CommandType.PRE, 0))
+                cand = (earliest, _PRIO_REFRESH, 0, _OP_PRE, ctx, None)
+                if best is None or cand[:3] < best[:3]:
+                    best = cand
+            return best
+        earliest = max(c.bank.earliest_issue(CommandType.REF, 0)
+                       for c in banks)
+        earliest = max(earliest, tracker.next_due)
+        earliest = chan.earliest_command(earliest)
+        return (earliest, _PRIO_REFRESH, 0, _OP_REF,
+                (channel, rank_index, tracker, banks, chan), None)
+
+    def _rfm_candidate(self, ctx: _BankCtx, chan):
+        bank = ctx.bank
+        if bank.open_row is not None:
+            earliest = chan.earliest_command(
+                bank.earliest_issue(CommandType.PRE, 0))
+            return (earliest, _PRIO_RFM, 0, _OP_PRE, ctx, None)
+        earliest = chan.earliest_command(
+            bank.earliest_issue(CommandType.RFM, 0))
+        return (earliest, _PRIO_RFM, 0, _OP_RFM, ctx, None)
+
+    def _demand_candidate(self, ctx: _BankCtx, chan, timing, mitigation):
+        bank = ctx.bank
+        queue = ctx.queue
+        open_row = bank.open_row
+        if open_row is not None:
+            generation = mitigation.translation_generation(ctx.addr)
+            hit = None
+            for req in queue:
+                if req.da_generation != generation:
+                    req.da_row = mitigation.translate(ctx.addr,
+                                                      req.location.row)
+                    req.da_generation = generation
+                if req.da_row == open_row:
+                    hit = req
+                    break
+            if hit is not None:
+                if hit.is_write:
+                    earliest = bank.earliest_issue(CommandType.WR, 0)
+                    data_lead = timing.tCWL
+                else:
+                    earliest = bank.earliest_issue(CommandType.RD, 0)
+                    data_lead = timing.tCL
+                rank = self.device.ranks[ctx.rank_key]
+                earliest = rank.earliest_column(earliest, ctx.group)
+                earliest = chan.earliest_command(earliest)
+                earliest = max(
+                    earliest,
+                    chan.earliest_data(earliest + data_lead) - data_lead)
+                return (earliest, _PRIO_HIT, hit.arrival, _OP_COL, ctx, hit)
+            earliest = chan.earliest_command(
+                bank.earliest_issue(CommandType.PRE, 0))
+            return (earliest, _PRIO_DEMAND, queue[0].arrival, _OP_PRE,
+                    ctx, "conflict")
+        req = queue[0]
+        rank = self.device.ranks[ctx.rank_key]
+        earliest = bank.earliest_issue(CommandType.ACT, 0)
+        earliest = rank.earliest_act(earliest, ctx.group)
+        earliest = chan.earliest_command(earliest)
+        earliest = mitigation.before_activate(ctx.addr, req.location.row,
+                                              earliest)
+        return (earliest, _PRIO_DEMAND, req.arrival, _OP_ACT, ctx, req)
+
+    # -- candidate execution ------------------------------------------------------------
+
+    def _execute(self, cand) -> Optional[Tuple[MemoryRequest, int]]:
+        cycle, _prio, _age, op, target, payload = cand
+        if op == _OP_PRE:
+            ctx = target
+            self.device.channels[ctx.addr.channel].record_command(cycle)
+            ctx.bank.issue_pre(cycle)
+            if payload == "conflict":
+                ctx.bank.stats.row_conflicts += 1
+            return None
+        if op == _OP_ACT:
+            return self._do_act(cycle, target, payload)
+        if op == _OP_COL:
+            return self._do_column(cycle, target, payload)
+        if op == _OP_REF:
+            return self._do_ref(cycle, target)
+        if op == _OP_RFM:
+            return self._do_rfm(cycle, target)
+        raise AssertionError(f"unknown candidate op {op}")
+
+    def _do_act(self, cycle: int, ctx: _BankCtx,
+                request: MemoryRequest) -> None:
+        addr = ctx.addr
+        bank = ctx.bank
+        chan = self.device.channels[addr.channel]
+        mitigation = self.mitigation
+        generation = mitigation.translation_generation(addr)
+        if request.da_generation != generation or request.da_row is None:
+            request.da_row = mitigation.translate(addr, request.location.row)
+            request.da_generation = generation
+        da_row = request.da_row
+        chan.record_command(cycle)
+        self.device.ranks[ctx.rank_key].record_act(cycle, ctx.group)
+        bank.issue_act(da_row, cycle, extra_latency=self._act_extra)
+        bank.stats.row_misses += 1
+        if self.raa is not None:
+            self.raa.on_activate(addr)
+        if self.observer is not None:
+            self.observer.on_activate(addr, da_row, cycle)
+        outcome = mitigation.on_activate(addr, request.location.row,
+                                         da_row, cycle)
+        if outcome is not None:
+            if outcome.trr_rows:
+                bank.add_act_penalty(self._timing.tRC * len(outcome.trr_rows))
+                if self.observer is not None:
+                    for row in outcome.trr_rows:
+                        self.observer.on_row_refresh(addr, row, cycle)
+            if outcome.channel_block_cycles:
+                chan.block(cycle + 1, outcome.channel_block_cycles)
+            if outcome.restored_rows and self.observer is not None:
+                for row in outcome.restored_rows:
+                    self.observer.on_row_refresh(addr, row, cycle)
+        return None
+
+    def _do_column(self, cycle: int, ctx: _BankCtx,
+                   request: MemoryRequest) -> Tuple[MemoryRequest, int]:
+        bank = ctx.bank
+        chan = self.device.channels[ctx.addr.channel]
+        timing = self._timing
+        chan.record_command(cycle)
+        self.device.ranks[ctx.rank_key].record_column(cycle, ctx.group)
+        if request.is_write:
+            done = bank.issue_wr(cycle)
+            chan.record_data(cycle + timing.tCWL, timing.tBL)
+        else:
+            done = bank.issue_rd(cycle)
+            chan.record_data(cycle + timing.tCL, timing.tBL)
+        bank.stats.row_hits += 1  # column commands served from the open row
+        ctx.queue.remove(request)
+        request.issued = cycle
+        request.completed = done
+        return request, done
+
+    def _do_ref(self, cycle: int, target) -> None:
+        channel, rank_index, tracker, banks, chan = target
+        chan.record_command(cycle)
+        lo, hi = tracker.record_ref(cycle)
+        for ctx in banks:
+            ctx.bank.issue_ref(cycle)
+            if self.raa is not None:
+                self.raa.on_ref(ctx.addr)
+            self.mitigation.on_ref(ctx.addr, lo, hi, cycle)
+            if self.observer is not None:
+                # Observers wrap [lo, hi) modulo the bank's row count.
+                self.observer.on_refresh_range(ctx.addr, lo, hi, cycle)
+        return None
+
+    def _do_rfm(self, cycle: int, ctx: _BankCtx) -> None:
+        addr = ctx.addr
+        chan = self.device.channels[addr.channel]
+        chan.record_command(cycle)
+        outcome = self.mitigation.on_rfm(addr, cycle)
+        duration = self._timing.tRFM
+        if self.config.strict_rfm_window:
+            duration = max(duration, outcome.duration)
+        ctx.bank.issue_rfm(cycle, duration)
+        self.raa.on_rfm(addr)
+        if self.observer is not None:
+            for row in outcome.refreshed_rows:
+                self.observer.on_row_refresh(addr, row, cycle)
+            for src, dst in outcome.copies:
+                self.observer.on_row_copy(addr, src, dst, cycle)
+        return None
+
+    # -- idle bookkeeping ---------------------------------------------------------------
+
+    def _idle_wake(self, channel: int, until: int) -> Optional[int]:
+        wakes = []
+        for (ch, _rk), tracker in self.refresh.items():
+            if ch == channel and tracker.next_due > until:
+                wakes.append(tracker.next_due)
+        return min(wakes) if wakes else None

@@ -1,0 +1,55 @@
+"""RAA counters for the DDR5 RFM interface (paper Table I, Section II-A).
+
+A small per-bank activation counter (the RAA count) lives at the MC.
+When it reaches RAAIMT the MC owes the device an RFM command; issuing
+the RFM subtracts RAAIMT, and an all-bank REF also credits the counter
+(the device gets mitigation slack during tRFC anyway).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.dram.device import BankAddress
+
+
+@dataclass
+class RaaCounterBank:
+    """The full set of per-bank RAA counters."""
+
+    raaimt: int
+    ref_credit: int = None  # decrement applied per REF; defaults to RAAIMT
+    counters: Dict[BankAddress, int] = field(default_factory=dict)
+    rfms_issued: int = 0
+
+    def __post_init__(self) -> None:
+        if self.raaimt <= 0:
+            raise ValueError("RAAIMT must be positive")
+        if self.ref_credit is None:
+            self.ref_credit = self.raaimt
+        if self.ref_credit < 0:
+            raise ValueError("ref_credit must be non-negative")
+
+    def count(self, addr: BankAddress) -> int:
+        return self.counters.get(addr, 0)
+
+    def on_activate(self, addr: BankAddress) -> None:
+        self.counters[addr] = self.count(addr) + 1
+
+    def rfm_needed(self, addr: BankAddress) -> bool:
+        return self.count(addr) >= self.raaimt
+
+    def banks_needing_rfm(self):
+        return [a for a, c in self.counters.items() if c >= self.raaimt]
+
+    def on_rfm(self, addr: BankAddress) -> None:
+        if not self.rfm_needed(addr):
+            raise RuntimeError(
+                "RFM issued to a bank whose RAA count is below RAAIMT"
+            )
+        self.counters[addr] = self.count(addr) - self.raaimt
+        self.rfms_issued += 1
+
+    def on_ref(self, addr: BankAddress) -> None:
+        self.counters[addr] = max(0, self.count(addr) - self.ref_credit)

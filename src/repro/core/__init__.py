@@ -1,0 +1,40 @@
+"""SHADOW: the paper's primary contribution.
+
+The pieces map one-to-one onto the paper's architecture (Figure 5):
+
+* :mod:`repro.core.remapping` -- the per-subarray remapping row holding
+  the PA-to-DA table, the empty-row pointer and the incremental-refresh
+  pointer (Section V-A).
+* :mod:`repro.core.shuffle` -- the Row_aggr/Row_rand/Row_empt two-copy
+  row-shuffle choreography (Section IV-B).
+* :mod:`repro.core.incremental` -- the DA round-robin incremental
+  refresh (Section IV-C).
+* :mod:`repro.core.pairing` -- subarray-pairing timing: what latency the
+  remapping-row read adds to ACT (tRD_RM) and how long the RFM-hosted
+  work takes (Sections V-B, VI, VII-B).
+* :mod:`repro.core.controller` -- the per-bank SHADOW controller:
+  aggressor sampling from recent ACTs, random-number buffering, latches
+  (Section V-C).
+* :mod:`repro.core.shadow` -- the :class:`repro.mitigations.base.
+  Mitigation` implementation wiring everything into the memory
+  controller.
+"""
+
+from repro.core.config import ShadowConfig
+from repro.core.controller import ShadowBankController
+from repro.core.incremental import IncrementalRefresh
+from repro.core.pairing import ShadowTimings
+from repro.core.remapping import RemappingRow
+from repro.core.shadow import Shadow
+from repro.core.shuffle import ShuffleResult, plan_shuffle
+
+__all__ = [
+    "IncrementalRefresh",
+    "RemappingRow",
+    "Shadow",
+    "ShadowBankController",
+    "ShadowConfig",
+    "ShadowTimings",
+    "ShuffleResult",
+    "plan_shuffle",
+]

@@ -1,0 +1,122 @@
+"""Subarray-pairing timing model (paper Sections V-B, VI, VII-B).
+
+Subarray pairing places each subarray's remapping row in its *paired*
+subarray so that a target-row ACT and the remapping-row access proceed
+in different subarrays concurrently; the remapping row's restore and
+precharge hide under the target activation.  The residual cost on every
+ACT is ``tRD_RM``: remapping-row decode + isolated-bitline sensing + DA
+traversal to the pair's local row decoder (Table III: 4.0 ns).
+
+This module turns the circuit-level nanosecond quantities (Table III,
+reproduced analytically by :mod:`repro.analysis.circuit`) into the cycle
+charges the simulator uses:
+
+* ``act_extra_cycles`` -- added to every ACT (tRCD' = tRCD + tRD_RM);
+* ``rfm_work_cycles`` -- the RFM-hosted work: remapping-row read,
+  incremental refresh, two row-copies (the remapping-row *write* is
+  fully hidden under the copies, Section VI-B step 4).
+
+Both ablations the paper implies are expressible: ``pairing=False``
+serializes the remapping-row restore/precharge with the target ACT, and
+``isolation=False`` charges full-bitline sensing for the remapping row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.timing import TimingParams
+
+
+@dataclass(frozen=True)
+class CircuitTimings:
+    """Nanosecond-level quantities from the SPICE analysis (Table III)."""
+
+    trd_rm_ns: float = 4.0        # remapping-row read latency
+    trcd_rm_ns: float = 2.3       # remapping-row sensing
+    twr_rm_ns: float = 9.0        # remapping-row write recovery
+    copy_writeback_factor: float = 0.55   # dest write = 0.55 x tRAS
+    # Without the isolation transistor the remapping row senses like an
+    # ordinary row (baseline tRCD in ns) and its read gains nothing.
+    baseline_trcd_ns: float = 13.7
+    baseline_taa_ns: float = 13.7
+
+
+@dataclass(frozen=True)
+class ShadowTimings:
+    """Cycle-level charges for a given speed grade and option set."""
+
+    timing: TimingParams
+    circuit: CircuitTimings = CircuitTimings()
+    pairing: bool = True
+    isolation: bool = True
+    incremental_refresh: bool = True
+
+    def _trd_rm_ns(self) -> float:
+        if self.isolation:
+            return self.circuit.trd_rm_ns
+        # Full-bitline sensing: decode (~0.33 ns) + baseline sensing +
+        # the same short DA traversal (~1 ns + margin folded into tAA/3).
+        return (self.circuit.trd_rm_ns - self.circuit.trcd_rm_ns
+                + self.circuit.baseline_trcd_ns)
+
+    @property
+    def act_extra_cycles(self) -> int:
+        """Cycles added to every ACT (the tRD_RM charge)."""
+        extra_ns = self._trd_rm_ns()
+        if not self.pairing:
+            # Same-subarray remapping row: the target ACT additionally
+            # waits for the remapping row's restore and precharge.
+            extra_ns += self.timing.nanoseconds(
+                self.timing.tRAS + self.timing.tRP)
+        return self.timing.cycles(extra_ns)
+
+    @property
+    def trcd_prime_cycles(self) -> int:
+        """tRCD' = tRCD + tRD_RM, in cycles."""
+        return self.timing.tRCD + self.act_extra_cycles
+
+    @property
+    def trcd_prime_ns(self) -> float:
+        return self.timing.nanoseconds(self.trcd_prime_cycles)
+
+    @property
+    def row_copy_cycles(self) -> int:
+        """One row copy with precharge: sense (tRAS) + 0.55 tRAS + tRP."""
+        t = self.timing
+        sense = t.tRAS
+        writeback = int(round(t.tRAS * self.circuit.copy_writeback_factor))
+        return sense + writeback + t.tRP
+
+    @property
+    def incremental_refresh_cycles(self) -> int:
+        if not self.incremental_refresh:
+            return 0
+        return self.timing.tRAS + self.timing.tRP
+
+    @property
+    def remapping_write_cycles(self) -> int:
+        """Updating the remapping row in the pair (Section VI-B step 4)."""
+        t = self.timing
+        trcd_rm = t.cycles(self.circuit.trcd_rm_ns)
+        twr_rm = t.cycles(self.circuit.twr_rm_ns)
+        return trcd_rm + twr_rm + 3 * t.tCCD_L + t.tRP
+
+    def rfm_work_cycles(self, copies: int = 2) -> int:
+        """Total in-DRAM busy time of one SHADOW RFM.
+
+        ``tRD_RM + (tRAS + tRP) + copies x (1.55 tRAS + tRP)``; the
+        remapping-row write overlaps the copies when pairing is on, and
+        is charged serially otherwise.
+        """
+        if copies < 0:
+            raise ValueError("copies must be non-negative")
+        total = self.timing.cycles(self._trd_rm_ns())
+        total += self.incremental_refresh_cycles
+        total += copies * self.row_copy_cycles
+        if not self.pairing:
+            total += self.remapping_write_cycles
+        return total
+
+    def rfm_work_ns(self, copies: int = 2) -> float:
+        return self.timing.nanoseconds(self.rfm_work_cycles(copies))

@@ -1,0 +1,48 @@
+"""Row-shuffle planning: choosing Row_aggr and Row_rand (Section IV-B).
+
+``Row_aggr`` is sampled uniformly from the rows activated since the
+previous RFM (at most RAAIMT of them -- the SHADOW controller's history
+buffer).  ``Row_rand`` is a uniformly random row of the same subarray.
+No SRAM/CAM tracking table exists: randomness is the whole mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.utils.rng import RandomSource
+
+
+@dataclass(frozen=True)
+class ShuffleResult:
+    """One planned shuffle: which subarray, which PA offsets."""
+
+    subarray: int
+    aggr_pa_offset: int
+    rand_pa_offset: int
+
+
+def plan_shuffle(recent_activations: Sequence[Tuple[int, int]],
+                 rows_per_subarray: int,
+                 subarrays_per_bank: int,
+                 rng: RandomSource) -> Optional[ShuffleResult]:
+    """Pick the shuffle targets for one RFM command.
+
+    ``recent_activations`` holds ``(subarray, pa_offset)`` pairs for the
+    ACTs since the last RFM.  If the bank saw no activations (an RFM can
+    still arrive after a REF credited the counters), SHADOW shuffles a
+    random row of a random subarray -- keeping the mapping churning is
+    free protection.
+    """
+    if rows_per_subarray <= 0 or subarrays_per_bank <= 0:
+        raise ValueError("geometry must be positive")
+    if recent_activations:
+        subarray, aggr = recent_activations[
+            rng.randrange(len(recent_activations))]
+    else:
+        subarray = rng.randrange(subarrays_per_bank)
+        aggr = rng.randrange(rows_per_subarray)
+    rand = rng.randrange(rows_per_subarray)
+    return ShuffleResult(subarray=subarray, aggr_pa_offset=aggr,
+                         rand_pa_offset=rand)

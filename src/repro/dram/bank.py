@@ -1,0 +1,184 @@
+"""Per-bank timing state machine.
+
+The bank enforces the JEDEC command spacings (paper Section II-A):
+tRCD between ACT and RD/WR, tRAS before PRE, tRP before the next ACT,
+tRC between ACTs, tCCD between column commands, tWR/tRTP write/read to
+precharge, plus blocking windows for REF/RFM.
+
+The bank also keeps the open-row state used by FR-FCFS scheduling and
+counts command statistics for the power model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dram.commands import CommandType
+from repro.dram.timing import TimingParams
+
+#: Sentinel for "never constrained".
+NEVER = -1
+
+
+@dataclass
+class BankStats:
+    """Command counters used by the power model and the experiments."""
+
+    acts: int = 0
+    precharges: int = 0
+    reads: int = 0
+    writes: int = 0
+    refreshes: int = 0
+    rfms: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    row_conflicts: int = 0
+    extra_act_cycles: int = 0   # total tRD_RM-style latency charged
+
+    def merge(self, other: "BankStats") -> None:
+        for name in vars(self):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+
+@dataclass
+class Bank:
+    """Timing and row-buffer state of one DRAM bank."""
+
+    timing: TimingParams
+    stats: BankStats = field(default_factory=BankStats)
+
+    open_row: Optional[int] = None     # DA row latched in the row buffer
+
+    # Earliest cycles at which each command class may issue.
+    next_act: int = 0
+    next_pre: int = 0
+    next_rd: int = 0
+    next_wr: int = 0
+    busy_until: int = 0                # REF/RFM/mitigation blocking window
+
+    def __post_init__(self) -> None:
+        self._t = self.timing
+
+    # -- queries --------------------------------------------------------------
+
+    def is_open(self, row: int) -> bool:
+        return self.open_row == row
+
+    def earliest_issue(self, kind: CommandType, cycle: int) -> int:
+        """Earliest cycle >= ``cycle`` this command could legally issue.
+
+        Does not check open-row semantics (the scheduler decides whether a
+        PRE or ACT is needed); checks timing constraints only.
+        """
+        base = max(cycle, self.busy_until)
+        if kind is CommandType.ACT:
+            return max(base, self.next_act)
+        if kind is CommandType.PRE:
+            return max(base, self.next_pre)
+        if kind is CommandType.RD:
+            return max(base, self.next_rd)
+        if kind is CommandType.WR:
+            return max(base, self.next_wr)
+        if kind in (CommandType.REF, CommandType.RFM):
+            # Requires the bank precharged; the caller must PRE first.
+            return max(base, self.next_act)
+        raise ValueError(f"unsupported command: {kind}")
+
+    # -- state transitions ------------------------------------------------------
+
+    def issue_act(self, row: int, cycle: int, extra_latency: int = 0) -> None:
+        """Issue ACT at ``cycle``; ``extra_latency`` is SHADOW's tRD_RM.
+
+        The extra latency models the remapping-row read that precedes the
+        real activation: the row buffer is usable (RD/WR) only after
+        tRCD + extra, and restoration (tRAS) also starts ``extra`` late.
+        """
+        self._require(cycle >= self.earliest_issue(CommandType.ACT, cycle),
+                      "ACT issued before its timing constraints allow")
+        self._require(self.open_row is None, "ACT issued to an open bank")
+        t = self._t
+        self.open_row = row
+        self.next_rd = cycle + t.tRCD + extra_latency
+        self.next_wr = cycle + t.tRCD + extra_latency
+        self.next_pre = cycle + t.tRAS + extra_latency
+        self.next_act = cycle + t.tRC + extra_latency
+        self.stats.acts += 1
+        self.stats.extra_act_cycles += extra_latency
+
+    def issue_pre(self, cycle: int) -> None:
+        self._require(cycle >= self.earliest_issue(CommandType.PRE, cycle),
+                      "PRE issued before its timing constraints allow")
+        t = self._t
+        self.open_row = None
+        self.next_act = max(self.next_act, cycle + t.tRP)
+        self.stats.precharges += 1
+
+    def issue_rd(self, cycle: int) -> int:
+        """Issue RD; returns the cycle the data burst completes."""
+        self._require(self.open_row is not None, "RD issued to a closed bank")
+        self._require(cycle >= self.earliest_issue(CommandType.RD, cycle),
+                      "RD issued before its timing constraints allow")
+        t = self._t
+        self.next_rd = cycle + t.tCCD_L
+        self.next_wr = max(self.next_wr, cycle + t.tCCD_L)
+        self.next_pre = max(self.next_pre, cycle + t.tRTP)
+        self.stats.reads += 1
+        return cycle + t.tCL + t.tBL
+
+    def issue_wr(self, cycle: int) -> int:
+        """Issue WR; returns the cycle the write burst completes."""
+        self._require(self.open_row is not None, "WR issued to a closed bank")
+        self._require(cycle >= self.earliest_issue(CommandType.WR, cycle),
+                      "WR issued before its timing constraints allow")
+        t = self._t
+        self.next_wr = cycle + t.tCCD_L
+        self.next_rd = max(self.next_rd, cycle + t.tCWL + t.tBL + t.tWTR_L)
+        self.next_pre = max(self.next_pre, cycle + t.tCWL + t.tBL + t.tWR)
+        self.stats.writes += 1
+        return cycle + t.tCWL + t.tBL
+
+    def issue_ref(self, cycle: int) -> int:
+        """All-bank refresh touching this bank; returns completion cycle."""
+        self._require(self.open_row is None, "REF requires a precharged bank")
+        self._require(cycle >= self.earliest_issue(CommandType.REF, cycle),
+                      "REF issued before its timing constraints allow")
+        done = cycle + self._t.tRFC
+        self.busy_until = max(self.busy_until, done)
+        self.next_act = max(self.next_act, done)
+        self.stats.refreshes += 1
+        return done
+
+    def issue_rfm(self, cycle: int, duration: Optional[int] = None) -> int:
+        """Per-bank RFM; blocks the bank for ``duration`` (default tRFM)."""
+        self._require(self.open_row is None, "RFM requires a precharged bank")
+        self._require(cycle >= self.earliest_issue(CommandType.RFM, cycle),
+                      "RFM issued before its timing constraints allow")
+        if duration is None:
+            duration = self._t.tRFM
+        done = cycle + duration
+        self.busy_until = max(self.busy_until, done)
+        self.next_act = max(self.next_act, done)
+        self.stats.rfms += 1
+        return done
+
+    def block_until(self, cycle: int) -> None:
+        """External blocking (RRS channel swaps, throttling windows)."""
+        self.busy_until = max(self.busy_until, cycle)
+        self.next_act = max(self.next_act, cycle)
+
+    def add_act_penalty(self, cycles: int) -> None:
+        """Delay the next ACT by internal work (TRR victim refreshes).
+
+        The bank's currently-open row remains readable; only the next
+        activation is pushed out, matching an in-DRAM TRR that runs after
+        the aggressor row closes.
+        """
+        if cycles < 0:
+            raise ValueError("penalty must be non-negative")
+        self.next_act += cycles
+
+    @staticmethod
+    def _require(condition: bool, message: str) -> None:
+        if not condition:
+            raise RuntimeError(f"DRAM protocol violation: {message}")

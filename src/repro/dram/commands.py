@@ -1,0 +1,53 @@
+"""DRAM command vocabulary.
+
+Commands follow the primary-secondary DDR protocol (paper Section II-A):
+the memory controller issues commands; the device obeys fixed JEDEC
+timings.  ``RFM`` is the DDR5 refresh-management command (paper Table I)
+that SHADOW repurposes to trigger row-shuffles.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class CommandType(enum.Enum):
+    """The DRAM commands the simulator issues."""
+
+    ACT = "activate"
+    PRE = "precharge"
+    RD = "read"
+    WR = "write"
+    REF = "refresh"          # all-bank auto-refresh (per rank)
+    RFM = "refresh_mgmt"     # per-bank refresh management (DDR5)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CommandType.{self.name}"
+
+
+@dataclass(frozen=True)
+class Command:
+    """A single DRAM command instance.
+
+    ``row`` is a *device address* (DA) row for ACT; ``column`` applies to
+    RD/WR.  REF carries neither.  ``cycle`` is the issue time in DRAM
+    clock cycles.
+    """
+
+    kind: CommandType
+    channel: int
+    rank: int
+    bank: int
+    cycle: int
+    row: Optional[int] = None
+    column: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.cycle < 0:
+            raise ValueError("command cycle must be non-negative")
+        if self.kind is CommandType.ACT and self.row is None:
+            raise ValueError("ACT requires a row")
+        if self.kind in (CommandType.RD, CommandType.WR) and self.column is None:
+            raise ValueError(f"{self.kind.name} requires a column")

@@ -1,0 +1,99 @@
+"""Soft post-package repair (sPPR) resources (paper Section VIII).
+
+Since DDR4, JEDEC defines sPPR: at runtime, a faulty row address can be
+remapped to a spare row, and -- the observation SHADOW leans on -- the
+device's tRCD is *unchanged* afterwards, proving a zero-latency address
+relocation path exists in commodity DRAM.  The number of sPPR resources
+per bank group has grown each generation, and the paper suggests SHADOW
+could exploit them (or provide the mechanism for an enhanced sPPR).
+
+This module models that resource pool: a per-bank set of spare rows and
+an associative repair table, with the JEDEC constraints (bounded
+repairs per bank group, soft repairs lost on power cycle).  It is used
+by the ablations to size how many SHADOW empty rows the existing spare
+infrastructure could already donate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.dram.device import BankAddress
+
+
+@dataclass(frozen=True)
+class SpprConfig:
+    """Generation-dependent sPPR resources."""
+
+    spare_rows_per_bank: int = 2        # DDR4: one or two per bank
+    repairs_per_bank_group: int = 4     # grows with generations [70]
+    banks_per_group: int = 4
+
+    def __post_init__(self) -> None:
+        if self.spare_rows_per_bank <= 0:
+            raise ValueError("spare_rows_per_bank must be positive")
+        if self.repairs_per_bank_group <= 0:
+            raise ValueError("repairs_per_bank_group must be positive")
+
+
+@dataclass
+class SpprState:
+    """Runtime repair table of one device."""
+
+    config: SpprConfig = field(default_factory=SpprConfig)
+    _repairs: Dict[BankAddress, Dict[int, int]] = field(
+        default_factory=dict)
+    _group_counts: Dict[tuple, int] = field(default_factory=dict)
+
+    def _group(self, addr: BankAddress) -> tuple:
+        return (addr.channel, addr.rank,
+                addr.bank // self.config.banks_per_group)
+
+    def repairs_used(self, addr: BankAddress) -> int:
+        return len(self._repairs.get(addr, {}))
+
+    def group_repairs_used(self, addr: BankAddress) -> int:
+        return self._group_counts.get(self._group(addr), 0)
+
+    def can_repair(self, addr: BankAddress) -> bool:
+        return (self.repairs_used(addr) < self.config.spare_rows_per_bank
+                and self.group_repairs_used(addr)
+                < self.config.repairs_per_bank_group)
+
+    def repair(self, addr: BankAddress, faulty_row: int) -> int:
+        """Soft-repair ``faulty_row``; returns the spare index used."""
+        if faulty_row < 0:
+            raise ValueError("row must be non-negative")
+        table = self._repairs.setdefault(addr, {})
+        if faulty_row in table:
+            return table[faulty_row]
+        if not self.can_repair(addr):
+            raise RuntimeError(
+                "sPPR resources exhausted for this bank/bank-group")
+        spare = len(table)
+        table[faulty_row] = spare
+        group = self._group(addr)
+        self._group_counts[group] = self._group_counts.get(group, 0) + 1
+        return spare
+
+    def resolve(self, addr: BankAddress, row: int) -> Optional[int]:
+        """The spare index serving ``row``, or None if unrepaired."""
+        return self._repairs.get(addr, {}).get(row)
+
+    def power_cycle(self) -> None:
+        """Soft repairs do not survive power loss (unlike hard PPR)."""
+        self._repairs.clear()
+        self._group_counts.clear()
+
+    # -- SHADOW synergy accounting -----------------------------------------------
+
+    def donatable_rows_per_subarray(self, subarrays_per_bank: int) -> float:
+        """How many SHADOW empty-row slots the spare pool could donate.
+
+        SHADOW needs one MC-invisible row per subarray; spares are
+        per-bank resources on the same relocation path.
+        """
+        if subarrays_per_bank <= 0:
+            raise ValueError("subarrays_per_bank must be positive")
+        return self.config.spare_rows_per_bank / subarrays_per_bank

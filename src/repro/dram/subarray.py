@@ -1,0 +1,222 @@
+"""Subarray geometry and row roles.
+
+A bank is a stack of subarrays (paper Figure 1); each subarray owns its
+row buffer, which is why SHADOW can confine shuffling inside one subarray
+and why subarray-pairing can overlap remapping-row access with target-row
+activation (paper Section V).
+
+SHADOW provisions, per subarray:
+
+* ``rows_per_subarray`` ordinary rows addressable by the MC,
+* one *empty row* (``Row_empt``) used as the row-shuffle bounce buffer,
+  never addressable by the MC,
+* one *remapping row* holding the paired subarray's PA-to-DA table,
+  likewise MC-inaccessible.
+
+This module provides the index arithmetic for those roles.  Device-address
+(DA) rows are numbered bank-wide; within a bank, subarray ``s`` owns DA
+rows ``[s * stride, (s+1) * stride)`` where ``stride`` counts ordinary
+rows plus the empty row.  The remapping row sits on a separate wordline
+next to the row buffer and is not part of the DA space (it is reached by
+the dedicated RRA signal, not by an address).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class SubarrayLayout:
+    """Static geometry of the subarrays within one bank."""
+
+    subarrays_per_bank: int = 16
+    rows_per_subarray: int = 512     # ordinary (MC-visible) rows
+    has_empty_row: bool = True       # SHADOW's Row_empt slot
+
+    def __post_init__(self) -> None:
+        if self.subarrays_per_bank <= 0:
+            raise ValueError("subarrays_per_bank must be positive")
+        if self.rows_per_subarray <= 0:
+            raise ValueError("rows_per_subarray must be positive")
+
+    @property
+    def slots_per_subarray(self) -> int:
+        """DA slots per subarray (ordinary rows + the empty row if any)."""
+        return self.rows_per_subarray + (1 if self.has_empty_row else 0)
+
+    @property
+    def mc_rows_per_bank(self) -> int:
+        """Rows the memory controller can address per bank."""
+        return self.subarrays_per_bank * self.rows_per_subarray
+
+    @property
+    def da_rows_per_bank(self) -> int:
+        """All DA row slots per bank, including empty rows."""
+        return self.subarrays_per_bank * self.slots_per_subarray
+
+    # -- MC-visible (PA-side) row arithmetic --------------------------------
+
+    def subarray_of_pa(self, pa_row: int) -> int:
+        """Subarray index holding MC-visible row ``pa_row``."""
+        self._check_pa(pa_row)
+        return pa_row // self.rows_per_subarray
+
+    def pa_offset(self, pa_row: int) -> int:
+        """Index of ``pa_row`` within its subarray (0..rows_per_subarray)."""
+        self._check_pa(pa_row)
+        return pa_row % self.rows_per_subarray
+
+    def pa_row(self, subarray: int, offset: int) -> int:
+        self._check_subarray(subarray)
+        if not 0 <= offset < self.rows_per_subarray:
+            raise ValueError("PA offset out of range")
+        return subarray * self.rows_per_subarray + offset
+
+    # -- DA-side row arithmetic ---------------------------------------------
+
+    def subarray_of_da(self, da_row: int) -> int:
+        """Subarray index holding DA slot ``da_row``."""
+        self._check_da(da_row)
+        return da_row // self.slots_per_subarray
+
+    def da_offset(self, da_row: int) -> int:
+        self._check_da(da_row)
+        return da_row % self.slots_per_subarray
+
+    def da_row(self, subarray: int, offset: int) -> int:
+        self._check_subarray(subarray)
+        if not 0 <= offset < self.slots_per_subarray:
+            raise ValueError("DA offset out of range")
+        return subarray * self.slots_per_subarray + offset
+
+    def da_range(self, subarray: int) -> Tuple[int, int]:
+        """Half-open DA row range ``[lo, hi)`` of a subarray."""
+        self._check_subarray(subarray)
+        lo = subarray * self.slots_per_subarray
+        return lo, lo + self.slots_per_subarray
+
+    def identity_da(self, pa_row: int) -> int:
+        """The DA slot a PA row occupies under the factory-default mapping."""
+        sub = self.subarray_of_pa(pa_row)
+        return self.da_row(sub, self.pa_offset(pa_row))
+
+    def paired_subarray(self, subarray: int) -> int:
+        """The subarray holding this subarray's remapping row.
+
+        Open-bitline constraint (paper Section V-B): paired subarrays
+        sandwich another subarray between them, i.e. pairs are (0,2),
+        (1,3), (4,6), (5,7), ... so partners never share a row buffer.
+        """
+        self._check_subarray(subarray)
+        group = subarray // 4
+        within = subarray % 4
+        partner_within = (within + 2) % 4
+        partner = group * 4 + partner_within
+        if partner >= self.subarrays_per_bank:
+            # Degenerate tail (bank not a multiple of 4): fall back to the
+            # adjacent-pair scheme which is always well defined for even
+            # subarray counts.
+            partner = subarray ^ 1
+        return partner
+
+    def da_neighbors(self, da_row: int, radius: int):
+        """DA rows within ``radius`` wordlines of ``da_row``, with distances.
+
+        Confined to the subarray: the threat model (paper Section II-D)
+        states an aggressor does not disturb other subarrays' rows.
+        Returns ``[(row, distance), ...]`` excluding ``da_row`` itself.
+        """
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        lo, hi = self.da_range(self.subarray_of_da(da_row))
+        neighbors = []
+        for d in range(1, radius + 1):
+            if da_row - d >= lo:
+                neighbors.append((da_row - d, d))
+            if da_row + d < hi:
+                neighbors.append((da_row + d, d))
+        return neighbors
+
+    # -- validation helpers ---------------------------------------------------
+
+    def _check_pa(self, pa_row: int) -> None:
+        if not 0 <= pa_row < self.mc_rows_per_bank:
+            raise ValueError(
+                f"PA row {pa_row} out of range [0, {self.mc_rows_per_bank})"
+            )
+
+    def _check_da(self, da_row: int) -> None:
+        if not 0 <= da_row < self.da_rows_per_bank:
+            raise ValueError(
+                f"DA row {da_row} out of range [0, {self.da_rows_per_bank})"
+            )
+
+    def _check_subarray(self, subarray: int) -> None:
+        if not 0 <= subarray < self.subarrays_per_bank:
+            raise ValueError(
+                f"subarray {subarray} out of range "
+                f"[0, {self.subarrays_per_bank})"
+            )
+
+
+class Subarray:
+    """Runtime state of one subarray: which PA row occupies each DA slot.
+
+    Under the factory mapping, slot ``i`` holds ordinary row ``i`` and the
+    last slot (if an empty row is provisioned) holds ``None``.  SHADOW
+    permutes this occupancy via row-copies; the class enforces that the
+    occupancy stays a permutation (each PA row in exactly one slot).
+    """
+
+    def __init__(self, layout: SubarrayLayout, index: int):
+        layout._check_subarray(index)
+        self.layout = layout
+        self.index = index
+        # occupancy[offset] = PA offset stored there, or None for empty.
+        self.occupancy = list(range(layout.rows_per_subarray))
+        if layout.has_empty_row:
+            self.occupancy.append(None)
+
+    @property
+    def empty_offset(self) -> int:
+        """DA offset of the slot currently holding no PA row."""
+        if not self.layout.has_empty_row:
+            raise RuntimeError("this layout has no empty row")
+        return self.occupancy.index(None)
+
+    def slot_of(self, pa_offset: int) -> int:
+        """DA offset currently holding PA offset ``pa_offset``."""
+        if not 0 <= pa_offset < self.layout.rows_per_subarray:
+            raise ValueError("PA offset out of range")
+        return self.occupancy.index(pa_offset)
+
+    def copy_row(self, src_offset: int, dst_offset: int) -> None:
+        """Move the content of DA slot ``src`` into DA slot ``dst``.
+
+        The destination must currently be the empty slot; after the copy
+        the source becomes the empty slot.  (The physical row-copy leaves
+        stale data in the source, but logically the source is now free;
+        SHADOW's remapping row no longer references it.)
+        """
+        n = self.layout.slots_per_subarray
+        if not (0 <= src_offset < n and 0 <= dst_offset < n):
+            raise ValueError("slot offset out of range")
+        if src_offset == dst_offset:
+            raise ValueError("source and destination slots must differ")
+        if self.occupancy[dst_offset] is not None:
+            raise ValueError("destination slot is not empty")
+        if self.occupancy[src_offset] is None:
+            raise ValueError("source slot is empty")
+        self.occupancy[dst_offset] = self.occupancy[src_offset]
+        self.occupancy[src_offset] = None
+
+    def check_permutation(self) -> None:
+        """Raise if the occupancy stopped being a valid permutation."""
+        present = [x for x in self.occupancy if x is not None]
+        expected = self.layout.rows_per_subarray
+        if len(present) != expected or len(set(present)) != expected:
+            raise AssertionError("subarray occupancy is not a permutation")
+        if self.layout.has_empty_row and self.occupancy.count(None) != 1:
+            raise AssertionError("subarray must have exactly one empty slot")

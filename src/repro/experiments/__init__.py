@@ -1,0 +1,17 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Every module exposes ``run(fidelity)`` returning a plain dict of the
+rows/series the paper reports, and a ``main()`` console entry point
+(wired in ``pyproject.toml`` as ``shadow-table2`` ... ``shadow-fig12``).
+
+``fidelity`` selects the run scale:
+
+* ``"smoke"`` -- minutes-scale runs used by the benchmark suite; same
+  mechanisms, trimmed workload sets and request budgets.
+* ``"full"`` -- the paper-scale configuration (all applications, 14-16
+  threads, larger budgets); used to produce EXPERIMENTS.md.
+"""
+
+from repro.experiments.configs import FidelityConfig, fidelity_config
+
+__all__ = ["FidelityConfig", "fidelity_config"]

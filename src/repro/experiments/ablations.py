@@ -1,0 +1,134 @@
+"""Ablations of SHADOW's design choices (DESIGN.md Section 6).
+
+Not figures from the paper, but direct tests of the microarchitecture
+decisions it motivates:
+
+* **subarray pairing off** -- the remapping-row restore/precharge
+  serializes with the target ACT and the remapping-row write is no
+  longer hidden (Sections V-B, VI);
+* **isolation transistor off** -- the remapping row senses like an
+  ordinary row (Section V-A);
+* **incremental refresh off** -- protection drops (Monte Carlo flip
+  rate under the scenario-II adversary, Section IV-C);
+* **LFSR vs PRINCE RNG** -- performance equivalence of the cheap RNG
+  option (Section VIII).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.montecarlo import flip_rate
+from repro.core import Shadow, ShadowConfig
+from repro.core.config import secure_raaimt
+from repro.core.pairing import ShadowTimings
+from repro.dram.subarray import SubarrayLayout
+from repro.dram.timing import DDR4_2666
+from repro.experiments.configs import DEFAULT_HCNT, fidelity_config
+from repro.experiments.report import format_table, save_results
+from repro.rowhammer.adversary import ScenarioIIAttacker
+from repro.sim.runner import ExperimentRunner
+from repro.utils.rng import SystemRng
+from repro.workloads import mix_high
+
+
+def timing_ablation() -> Dict[str, Dict[str, float]]:
+    """Cycle charges of each microarchitecture variant (DDR4-2666)."""
+    variants = {
+        "full SHADOW": ShadowTimings(DDR4_2666),
+        "no pairing": ShadowTimings(DDR4_2666, pairing=False),
+        "no isolation": ShadowTimings(DDR4_2666, isolation=False),
+        "no incr. refresh": ShadowTimings(DDR4_2666,
+                                          incremental_refresh=False),
+    }
+    return {
+        name: {
+            "act_extra_cycles": t.act_extra_cycles,
+            "trcd_prime_ns": t.trcd_prime_ns,
+            "rfm_work_ns": t.rfm_work_ns(),
+        }
+        for name, t in variants.items()
+    }
+
+
+def protection_ablation(trials: int = 40) -> Dict[str, float]:
+    """Scenario-II flip rate with and without the incremental refresh.
+
+    Scaled-down subarray (32 rows) so empirical rates are measurable.
+    """
+    layout = SubarrayLayout(subarrays_per_bank=2, rows_per_subarray=32)
+
+    def make(seed: int):
+        return ScenarioIIAttacker(layout, subarray=0, n_aggr=4,
+                                  rng=SystemRng(seed))
+
+    common = dict(layout=layout, hcnt=160, raaimt=16, intervals=120,
+                  trials=trials, seed=11)
+    return {
+        "with incremental refresh": flip_rate(make, **common),
+        "without incremental refresh": flip_rate(
+            make, incremental_refresh=False, **common),
+        "no shuffle (RFM only)": flip_rate(
+            make, shuffle=False, incremental_refresh=False, **common),
+    }
+
+
+def performance_ablation(fidelity: str) -> Dict[str, float]:
+    """Weighted-speedup impact of the microarchitecture options."""
+    fc = fidelity_config(fidelity)
+    runner = ExperimentRunner(config=fc.system_config())
+    profiles = mix_high(fc.threads)
+    raaimt = secure_raaimt(DEFAULT_HCNT)
+
+    def shadow(**overrides) -> Shadow:
+        return Shadow(ShadowConfig(raaimt=raaimt, rng_kind="system",
+                                   **overrides))
+
+    return {
+        "full SHADOW": runner.relative_performance(profiles, shadow),
+        "no pairing": runner.relative_performance(
+            profiles, lambda: shadow(pairing=False)),
+        "no isolation": runner.relative_performance(
+            profiles, lambda: shadow(isolation=False)),
+        "LFSR RNG": runner.relative_performance(
+            profiles, lambda: Shadow(ShadowConfig(raaimt=raaimt,
+                                                  rng_kind="lfsr"))),
+    }
+
+
+def run(fidelity: str = "smoke") -> Dict:
+    """Run all three ablation studies; returns the result dict."""
+    return {
+        "experiment": "ablations",
+        "fidelity": fidelity,
+        "timing": timing_ablation(),
+        "protection": protection_ablation(
+            trials=40 if fidelity == "smoke" else 200),
+        "performance": performance_ablation(fidelity),
+    }
+
+
+def main() -> None:
+    """Console entry point: print the ablation tables."""
+    import sys
+    fidelity = sys.argv[1] if len(sys.argv) > 1 else "full"
+    results = run(fidelity)
+    rows = [[name, v["act_extra_cycles"], v["trcd_prime_ns"],
+             v["rfm_work_ns"]]
+            for name, v in results["timing"].items()]
+    print(format_table(
+        ["variant", "ACT extra (cyc)", "tRCD' (ns)", "RFM work (ns)"],
+        rows, title="Ablation: timing charges"))
+    print()
+    rows = [[k, v] for k, v in results["protection"].items()]
+    print(format_table(["variant", "flip rate"], rows,
+                       title="Ablation: scenario-II Monte Carlo flips"))
+    print()
+    rows = [[k, v] for k, v in results["performance"].items()]
+    print(format_table(["variant", "rel. weighted speedup"], rows,
+                       title="Ablation: performance (mix-high)"))
+    print("saved:", save_results(f"ablations_{fidelity}", results))
+
+
+if __name__ == "__main__":
+    main()

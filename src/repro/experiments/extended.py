@@ -1,0 +1,93 @@
+"""Extended comparison: every implemented scheme on one mix.
+
+Beyond the paper's figure sets: adds Graphene, stand-alone PARA, and
+the Section VIII filtered-RFM variant of SHADOW to the comparison, all
+at one threshold on mix-blend.  Used to sanity-check that the whole
+mitigation zoo behaves sensibly side by side, and to quantify how many
+RFMs the hazard filter saves on benign traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core import Shadow, ShadowConfig
+from repro.core.config import secure_raaimt
+from repro.experiments.configs import DEFAULT_HCNT, fidelity_config
+from repro.experiments.report import format_table, save_results
+from repro.mitigations import (
+    BlockHammer,
+    DoubleRefreshRate,
+    FilteredRfm,
+    Graphene,
+    Para,
+    Parfm,
+    RandomizedRowSwap,
+    mithril_area,
+    mithril_perf,
+)
+from repro.mitigations.para import para_probability
+from repro.sim.runner import ExperimentRunner
+from repro.workloads import mix_blend
+
+
+def scheme_factories(hcnt: int) -> Dict[str, callable]:
+    """Fresh-instance factories for every implemented scheme."""
+    raaimt = secure_raaimt(hcnt)
+
+    def shadow():
+        return Shadow(ShadowConfig(raaimt=raaimt, rng_kind="system"))
+
+    def filtered_shadow():
+        return FilteredRfm(shadow(), hazard_threshold=max(8, raaimt // 4))
+
+    return {
+        "SHADOW": shadow,
+        "SHADOW+filter": filtered_shadow,
+        "PARFM": lambda: Parfm.for_hcnt(hcnt),
+        "PARA": lambda: Para(para_probability(hcnt)),
+        "Mithril-perf": lambda: mithril_perf(hcnt),
+        "Mithril-area": lambda: mithril_area(hcnt),
+        "Graphene": lambda: Graphene(hcnt),
+        "BlockHammer": lambda: BlockHammer.for_hcnt(hcnt),
+        "RRS": lambda: RandomizedRowSwap.for_hcnt(hcnt),
+        "DRR": DoubleRefreshRate,
+    }
+
+
+def run(fidelity: str = "smoke", hcnt: int = DEFAULT_HCNT) -> Dict:
+    """Run the all-schemes comparison; returns the result dict."""
+    fc = fidelity_config(fidelity)
+    runner = ExperimentRunner(config=fc.system_config())
+    profiles = mix_blend(fc.threads)
+    rows: Dict[str, Dict[str, float]] = {}
+    for name, factory in scheme_factories(hcnt).items():
+        instance = factory()
+        rel = runner.relative_performance(profiles, factory)
+        shared = runner.run_shared(profiles, lambda: instance)
+        rows[name] = {
+            "relative_performance": rel,
+            "rfms": shared.rfms,
+            "rfms_filtered": getattr(instance, "rfms_filtered", 0),
+        }
+    return {"experiment": "extended", "fidelity": fidelity,
+            "hcnt": hcnt, "schemes": rows}
+
+
+def main() -> None:
+    """Console entry point: print the comparison table."""
+    import sys
+    fidelity = sys.argv[1] if len(sys.argv) > 1 else "full"
+    results = run(fidelity)
+    table = [[name, vals["relative_performance"], vals["rfms"],
+              vals["rfms_filtered"]]
+             for name, vals in results["schemes"].items()]
+    print(format_table(
+        ["scheme", "rel. perf", "RFMs", "RFMs filtered"], table,
+        title=f"Extended comparison on mix-blend "
+              f"(Hcnt={results['hcnt']}, {fidelity})"))
+    print("saved:", save_results(f"extended_{fidelity}", results))
+
+
+if __name__ == "__main__":
+    main()

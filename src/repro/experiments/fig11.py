@@ -1,0 +1,64 @@
+"""Figure 11: architectural comparison vs BlockHammer and RRS.
+
+Sweeps H_cnt from 16K to 2K on mix-high, mix-blend and a set of
+mix-random mixes (DDR5-4800 in the paper; the timing grade is
+selectable).  The expected shape: SHADOW stays within a few percent
+everywhere; RRS collapses at low thresholds (channel-blocking swaps);
+BlockHammer collapses at low thresholds (throttle delays + blacklist
+misidentification).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.configs import HCNT_SWEEP, fidelity_config
+from repro.experiments.report import format_table, save_results
+from repro.experiments.schemes import archsim_scheme_factories
+from repro.sim.runner import ExperimentRunner
+from repro.workloads import mix_blend, mix_high, mix_random
+
+
+def run(fidelity: str = "smoke") -> Dict:
+    """Run the experiment; returns the figure's series as a dict."""
+    fc = fidelity_config(fidelity)
+    runner = ExperimentRunner(
+        config=fc.system_config(requests=fc.tracker_requests))
+    threads = fc.tracker_threads
+    mixes = {
+        "mix-high": [mix_high(threads)],
+        "mix-blend": [mix_blend(threads)],
+    }
+    if fidelity == "full":
+        mixes["mix-random"] = [mix_random(seed, threads)
+                               for seed in range(1, fc.mix_random_count + 1)]
+    sweep = HCNT_SWEEP if fidelity == "full" else (16384, 4096, 2048)
+    series: Dict[str, Dict[str, float]] = {}
+    for mix_name, variants in mixes.items():
+        for hcnt in sweep:
+            for name, factory in archsim_scheme_factories(hcnt).items():
+                rels = [runner.relative_performance(profiles, factory)
+                        for profiles in variants]
+                series.setdefault(f"{mix_name}/{name}", {})[str(hcnt)] = \
+                    sum(rels) / len(rels)
+    return {"experiment": "fig11", "fidelity": fidelity, "series": series,
+            "hcnt_sweep": list(sweep)}
+
+
+def main() -> None:
+    """Console entry point: print the regenerated figure series."""
+    import sys
+    fidelity = sys.argv[1] if len(sys.argv) > 1 else "full"
+    results = run(fidelity)
+    hcnts = [str(h) for h in results["hcnt_sweep"]]
+    rows = [[key] + [vals[h] for h in hcnts]
+            for key, vals in results["series"].items()]
+    print(format_table(
+        ["series"] + [f"Hcnt={h}" for h in hcnts], rows,
+        title=f"Figure 11: SHADOW vs BlockHammer vs RRS, weighted "
+              f"speedup relative to baseline ({fidelity})"))
+    print("saved:", save_results(f"fig11_{fidelity}", results))
+
+
+if __name__ == "__main__":
+    main()

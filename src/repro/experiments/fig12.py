@@ -1,0 +1,68 @@
+"""Figure 12: relative system power and RFM-to-REF ratio.
+
+Runs SHADOW and the baseline on mix-high / mix-blend across the H_cnt
+sweep, feeds the measured command counts into the IDD power model, and
+reports (a) system power relative to baseline and (b) the number of
+RFMs normalized to the number of refreshes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.power import CommandCounts, SystemPowerModel
+from repro.experiments.configs import HCNT_SWEEP, fidelity_config
+from repro.experiments.report import format_table, save_results
+from repro.experiments.schemes import NoMitigation, make_shadow
+from repro.sim.system import System
+from repro.workloads import mix_blend, mix_high
+
+
+def _counts(result) -> CommandCounts:
+    return CommandCounts(
+        acts=result.stats.acts, reads=result.stats.reads,
+        writes=result.stats.writes, refreshes=result.refreshes,
+        rfms=result.rfms, elapsed_cycles=max(1, result.cycles))
+
+
+def run(fidelity: str = "smoke") -> Dict:
+    """Run the experiment; returns the figure's series as a dict."""
+    fc = fidelity_config(fidelity)
+    config = fc.system_config()
+    power = SystemPowerModel(cpu_tdp_w=165.0, devices=32,
+                             timing=config.timing)
+    series: Dict[str, Dict[str, float]] = {}
+    for mix_name, profiles in (("mix-high", mix_high(fc.threads)),
+                               ("mix-blend", mix_blend(fc.threads))):
+        base = System(profiles, NoMitigation(), config=config).run()
+        base_counts = _counts(base)
+        for hcnt in HCNT_SWEEP:
+            shadow = System(profiles, make_shadow(hcnt),
+                            config=config).run()
+            counts = _counts(shadow)
+            rel = power.relative_power(counts, base_counts, shadow=True)
+            ratio = counts.rfms / max(1, counts.refreshes)
+            series.setdefault(f"{mix_name}/relative-power", {})[
+                str(hcnt)] = rel
+            series.setdefault(f"{mix_name}/rfm-per-ref", {})[
+                str(hcnt)] = ratio
+    return {"experiment": "fig12", "fidelity": fidelity, "series": series}
+
+
+def main() -> None:
+    """Console entry point: print the regenerated figure series."""
+    import sys
+    fidelity = sys.argv[1] if len(sys.argv) > 1 else "full"
+    results = run(fidelity)
+    hcnts = [str(h) for h in HCNT_SWEEP]
+    rows = [[key] + [f"{vals[h]:.5f}" for h in hcnts]
+            for key, vals in results["series"].items()]
+    print(format_table(
+        ["series"] + [f"Hcnt={h}" for h in hcnts], rows,
+        title=f"Figure 12: SHADOW relative system power and RFM/REF "
+              f"ratio ({fidelity})"))
+    print("saved:", save_results(f"fig12_{fidelity}", results))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Figure 8: relative performance of SHADOW vs RFM baselines and DRR.
+
+Single-threaded SPEC groups (HIGH/MED/LOW, reciprocal execution time),
+multi-threaded GAPBS and NPB, and the mix-high/mix-blend multi-
+programmed mixes (weighted speedup), all normalized to the unprotected
+baseline at the paper's default H_cnt of 4K.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.configs import DEFAULT_HCNT, fidelity_config
+from repro.experiments.report import format_table, save_results
+from repro.experiments.schemes import NoMitigation, rfm_scheme_factories
+from repro.sim.runner import ExperimentRunner
+from repro.sim.system import System
+from repro.workloads import (
+    GAPBS_PROFILES,
+    NPB_PROFILES,
+    mix_blend,
+    mix_high,
+    spec_group,
+)
+
+
+def _multithread_relative(profile, threads, make_scheme, config) -> float:
+    """Reciprocal execution time of a homogeneous multi-threaded run."""
+    base = System([profile] * threads, NoMitigation(), config=config).run()
+    scheme = System([profile] * threads, make_scheme(), config=config).run()
+    return max(base.thread_finish_cycles) / max(scheme.thread_finish_cycles)
+
+
+def run(fidelity: str = "smoke", hcnt: int = DEFAULT_HCNT) -> Dict:
+    """Run the experiment; returns the figure's series as a dict."""
+    fc = fidelity_config(fidelity)
+    schemes = rfm_scheme_factories(hcnt)
+    results: Dict[str, Dict[str, float]] = {name: {} for name in schemes}
+
+    # Single-threaded SPEC groups.
+    st_runner = ExperimentRunner(
+        config=fc.system_config(requests=fc.single_thread_requests))
+    for group in ("high", "med", "low"):
+        profiles = spec_group(group)
+        for name, factory in schemes.items():
+            rels = [st_runner.single_thread_relative(p, factory)
+                    for p in profiles]
+            results[name][f"spec-{group}"] = sum(rels) / len(rels)
+
+    # Multi-threaded suites.
+    mt_config = fc.system_config()
+    for suite_name, suite in (("gapbs", GAPBS_PROFILES),
+                              ("npb", NPB_PROFILES)):
+        apps = sorted(suite)[:fc.apps_per_suite]
+        for name, factory in schemes.items():
+            rels = [_multithread_relative(suite[a], fc.mt_threads,
+                                          factory, mt_config)
+                    for a in apps]
+            results[name][suite_name] = sum(rels) / len(rels)
+
+    # Multi-programmed mixes (weighted speedup).
+    mix_runner = ExperimentRunner(config=fc.system_config())
+    for mix_name, profiles in (("mix-high", mix_high(fc.threads)),
+                               ("mix-blend", mix_blend(fc.threads))):
+        for name, factory in schemes.items():
+            results[name][mix_name] = mix_runner.relative_performance(
+                profiles, factory)
+
+    return {"experiment": "fig8", "fidelity": fidelity, "hcnt": hcnt,
+            "relative_performance": results}
+
+
+def main() -> None:
+    """Console entry point: print the regenerated figure series."""
+    import sys
+    fidelity = sys.argv[1] if len(sys.argv) > 1 else "full"
+    results = run(fidelity)
+    series = results["relative_performance"]
+    workloads = list(next(iter(series.values())))
+    rows = [[name] + [series[name][w] for w in workloads]
+            for name in series]
+    print(format_table(
+        ["scheme"] + workloads, rows,
+        title=f"Figure 8: performance relative to no-mitigation "
+              f"(Hcnt={results['hcnt']}, {fidelity})"))
+    print("saved:", save_results(f"fig8_{fidelity}", results))
+
+
+if __name__ == "__main__":
+    main()

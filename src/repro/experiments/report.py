@@ -1,0 +1,45 @@
+"""Uniform result printing and persistence for the experiment drivers."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: List[Sequence],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned text table (the experiments' stdout format)."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([
+            f"{v:.4g}" if isinstance(v, float) else str(v) for v in row])
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def save_results(name: str, payload: Dict, directory: str = "results") -> str:
+    """Persist an experiment's dict as JSON; returns the path."""
+    out_dir = pathlib.Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"{name}.json"
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+    return str(path)
+
+
+def scientific(value: float) -> str:
+    """Table II's notation: '2E-15', '0', '1'."""
+    if value <= 0:
+        return "0"
+    if value >= 0.95:
+        return "1"
+    mantissa, exponent = f"{value:.0e}".split("e")
+    return f"{mantissa}E{int(exponent)}"

@@ -1,0 +1,62 @@
+"""Row Hammer mitigations: SHADOW's baselines and comparison points.
+
+Every scheme from the paper's evaluation is implemented behind one
+:class:`~repro.mitigations.base.Mitigation` interface:
+
+* :class:`~repro.mitigations.none.NoMitigation` -- the unprotected
+  baseline every figure normalizes against.
+* :class:`~repro.mitigations.drr.DoubleRefreshRate` -- DRR (Figure 8).
+* :class:`~repro.mitigations.para.Para` / :class:`~repro.mitigations.
+  parfm.Parfm` -- probabilistic TRR, stand-alone and RFM-hosted.
+* :class:`~repro.mitigations.mithril.Mithril` -- Counter-based-Summary
+  tracker + RFM TRR, in perf- and area-optimized configurations.
+* :class:`~repro.mitigations.graphene.Graphene` -- Misra-Gries TRR at
+  the MC (related work, used in ablations).
+* :class:`~repro.mitigations.blockhammer.BlockHammer` -- dual counting
+  Bloom filter + ACT throttling.
+* :class:`~repro.mitigations.rrs.RandomizedRowSwap` -- MC-side row-swap
+  with channel-blocking swaps.
+
+SHADOW itself lives in :mod:`repro.core` (it is the paper's primary
+contribution) but implements this same interface.
+"""
+
+from repro.mitigations.base import ActOutcome, Mitigation, RfmOutcome
+from repro.mitigations.blockhammer import BlockHammer, BlockHammerConfig
+from repro.mitigations.drr import DoubleRefreshRate
+from repro.mitigations.filtered import FilteredRfm
+from repro.mitigations.graphene import Graphene
+from repro.mitigations.mithril import Mithril, mithril_area, mithril_perf
+from repro.mitigations.none import NoMitigation
+from repro.mitigations.para import Para
+from repro.mitigations.parfm import Parfm
+from repro.mitigations.rrs import RandomizedRowSwap, RrsConfig
+from repro.mitigations.trackers import (
+    CountMinSketch,
+    CounterSummary,
+    DualCountingBloomFilter,
+    MisraGries,
+)
+
+__all__ = [
+    "ActOutcome",
+    "BlockHammer",
+    "BlockHammerConfig",
+    "CountMinSketch",
+    "CounterSummary",
+    "DoubleRefreshRate",
+    "DualCountingBloomFilter",
+    "FilteredRfm",
+    "Graphene",
+    "MisraGries",
+    "Mithril",
+    "Mitigation",
+    "NoMitigation",
+    "Para",
+    "Parfm",
+    "RandomizedRowSwap",
+    "RfmOutcome",
+    "RrsConfig",
+    "mithril_area",
+    "mithril_perf",
+]

@@ -1,0 +1,152 @@
+"""The mitigation interface the memory controller drives.
+
+A mitigation can affect the system in exactly the ways the paper's
+Section III taxonomy allows:
+
+* stretch ACT latency (SHADOW's remapping-row read: ``act_extra_cycles``);
+* request RFM commands (``uses_rfm`` / ``raaimt``) and perform in-DRAM
+  work inside the tRFM window (``on_rfm`` -> :class:`RfmOutcome`);
+* refresh victim rows after an ACT (TRR: :class:`ActOutcome.trr_rows`);
+* delay an ACT before it issues (throttling: :class:`ActOutcome` via
+  ``before_activate``);
+* block a whole channel (RRS row swaps, reported via ``on_activate``
+  returning a :class:`ActOutcome` with ``channel_block_cycles``);
+* change the auto-refresh rate (DRR: ``refresh_interval_scale``);
+* remap row addresses (SHADOW, RRS: ``translate``).
+
+The MC applies each effect on the correct resource, and reports all
+row-touching side effects to the Row Hammer fault model so that security
+experiments observe exactly what the timing experiments charge for.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.dram.device import BankAddress, DramGeometry
+from repro.dram.timing import TimingParams
+
+
+@dataclass
+class RfmOutcome:
+    """What a mitigation did during one RFM command.
+
+    ``duration`` is the internal busy time in cycles; the MC blocks the
+    bank for ``max(duration, tRFM)`` as the JEDEC interface provisions a
+    fixed window.  ``refreshed_rows`` are DA rows recharged (TRR or
+    incremental refresh); ``copies`` are in-DRAM row copies (src, dst) in
+    DA space.  Both feed the fault model.
+    """
+
+    duration: int = 0
+    refreshed_rows: List[int] = field(default_factory=list)
+    copies: List[Tuple[int, int]] = field(default_factory=list)
+
+
+@dataclass
+class ActOutcome:
+    """Side effects of one ACT command.
+
+    ``trr_rows``: DA rows the device must internally refresh right after
+    this activation (each charged one tRC of bank time).
+    ``channel_block_cycles``: whole-channel blocking started by this ACT
+    (RRS row swaps).
+    ``restored_rows``: DA rows physically rewritten by an operation whose
+    timing is already charged elsewhere (e.g. the two rows of an RRS
+    swap, covered by the channel block) -- fault-model reset only.
+    """
+
+    trr_rows: List[int] = field(default_factory=list)
+    channel_block_cycles: int = 0
+    restored_rows: List[int] = field(default_factory=list)
+
+
+class Mitigation(abc.ABC):
+    """Base class; the default implementation is a no-op scheme."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self.geometry: Optional[DramGeometry] = None
+        self.timing: Optional[TimingParams] = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def bind(self, geometry: DramGeometry, timing: TimingParams) -> None:
+        """Attach to a concrete memory system before simulation starts."""
+        self.geometry = geometry
+        self.timing = timing
+
+    def _require_bound(self) -> None:
+        if self.geometry is None or self.timing is None:
+            raise RuntimeError(f"{self.name} used before bind()")
+
+    # -- static timing effects ---------------------------------------------------
+
+    @property
+    def act_extra_cycles(self) -> int:
+        """Extra latency added to every ACT (SHADOW's tRD_RM)."""
+        return 0
+
+    @property
+    def uses_rfm(self) -> bool:
+        """Whether the MC must run RAA counters and issue RFM commands."""
+        return False
+
+    @property
+    def raaimt(self) -> int:
+        """RFM threshold; only meaningful when :attr:`uses_rfm`."""
+        self._require_bound()
+        return self.timing.raaimt
+
+    @property
+    def refresh_interval_scale(self) -> float:
+        """Multiplier on tREFI (DRR returns 0.5)."""
+        return 1.0
+
+    # -- address translation ----------------------------------------------------
+
+    def translate(self, addr: BankAddress, pa_row: int) -> int:
+        """Map an MC-visible row to the DA row actually activated.
+
+        The default is the factory-identity mapping (PA offsets occupy
+        the matching DA slots; empty rows are skipped).
+        """
+        self._require_bound()
+        return self.geometry.layout.identity_da(pa_row)
+
+    def translation_generation(self, addr: BankAddress) -> int:
+        """Monotonic counter bumped whenever this bank's PA-to-DA mapping
+        changes.  Static schemes return a constant so the controller can
+        cache translations per request."""
+        return 0
+
+    # -- event hooks ------------------------------------------------------------
+
+    def before_activate(self, addr: BankAddress, pa_row: int,
+                        cycle: int) -> int:
+        """Return the earliest cycle this ACT may issue (throttling).
+
+        Non-throttling schemes return ``cycle`` unchanged.
+        """
+        return cycle
+
+    def on_activate(self, addr: BankAddress, pa_row: int, da_row: int,
+                    cycle: int) -> Optional[ActOutcome]:
+        """Observe an issued ACT; optionally demand TRR/blocking work."""
+        return None
+
+    def on_rfm(self, addr: BankAddress, cycle: int) -> RfmOutcome:
+        """Perform the scheme's RFM-hosted mitigating action."""
+        return RfmOutcome()
+
+    def on_ref(self, addr: BankAddress, lo_row: int, hi_row: int,
+               cycle: int) -> None:
+        """Observe an auto-refresh covering DA rows ``[lo, hi)``."""
+
+    # -- reporting ---------------------------------------------------------------
+
+    def describe(self) -> str:
+        return self.name

@@ -1,0 +1,27 @@
+"""Double refresh rate (DRR).
+
+The industry's first RH response: halve tREFI so every row refreshes
+twice per tREFW, shrinking the attack window.  Cheap to deploy, but the
+extra refreshes cost bandwidth and energy, and the protection factor is
+only 2x -- far from sufficient at modern thresholds (paper Figure 8 uses
+it as the "blunt instrument" yardstick).
+"""
+
+from __future__ import annotations
+
+from repro.mitigations.base import Mitigation
+
+
+class DoubleRefreshRate(Mitigation):
+    """Refresh-rate multiplier scheme (default 2x => tREFI/2)."""
+
+    def __init__(self, factor: float = 2.0):
+        super().__init__()
+        if factor < 1.0:
+            raise ValueError("refresh-rate factor must be >= 1")
+        self.factor = factor
+        self.name = f"DRR-x{factor:g}" if factor != 2.0 else "DRR"
+
+    @property
+    def refresh_interval_scale(self) -> float:
+        return 1.0 / self.factor

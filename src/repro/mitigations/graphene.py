@@ -1,0 +1,74 @@
+"""Graphene: Misra-Gries-tracked TRR at the memory controller
+(Park et al., MICRO 2020).
+
+Each bank has a Misra-Gries heavy-hitters table; whenever a row's
+estimated count crosses the TRR threshold, the controller immediately
+refreshes the row's neighbours and resets the entry.  Unlike the
+RFM-hosted schemes the mitigation cost lands synchronously on the bank
+(one tRC per victim refresh, modelled as an ACT penalty).
+
+Used in the reproduction's ablations and as the tracker reference the
+paper's related-work section discusses; not part of the headline
+figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.dram.device import BankAddress
+from repro.mitigations.base import ActOutcome, Mitigation
+from repro.rowhammer.model import blast_weight_sum
+
+
+class Graphene(Mitigation):
+    """MC-side Misra-Gries TRR."""
+
+    def __init__(self, hcnt: int, blast_radius: int = 1,
+                 table_entries: int = None):
+        super().__init__()
+        if hcnt <= 4:
+            raise ValueError("hcnt too small to derive a TRR threshold")
+        self.blast_radius = max(1, blast_radius)
+        # TRR threshold: a victim accumulates at most W_sum weighted
+        # disturbance per tracked-aggressor count, so trigger with margin.
+        self.threshold = max(
+            1, int(hcnt / (2 * blast_weight_sum(self.blast_radius))))
+        # Misra-Gries guarantee needs one entry per threshold-sized slice
+        # of the worst-case ACTs in a refresh window; Graphene sizes the
+        # table as acts_per_trefw / threshold.  We default to that bound
+        # for a tRC-limited bank.
+        self.table_entries = table_entries
+        self._tables: Dict[BankAddress, "MisraGries"] = {}
+        self.trr_count = 0
+        self.name = f"Graphene-h{hcnt}"
+
+    def bind(self, geometry, timing) -> None:
+        super().bind(geometry, timing)
+        if self.table_entries is None:
+            acts_per_window = timing.tREFW // timing.tRC
+            self.table_entries = max(16, acts_per_window // self.threshold)
+
+    def on_activate(self, addr: BankAddress, pa_row: int, da_row: int,
+                    cycle: int) -> ActOutcome:
+        from repro.mitigations.trackers import MisraGries
+        table = self._tables.setdefault(
+            addr, MisraGries(self.table_entries))
+        estimate = table.observe(da_row)
+        if estimate < self.threshold:
+            return ActOutcome()
+        table.reset_key(da_row)
+        layout = self.geometry.layout
+        victims = [row for row, _d in
+                   layout.da_neighbors(da_row, self.blast_radius)]
+        self.trr_count += len(victims)
+        return ActOutcome(trr_rows=victims)
+
+    def on_ref(self, addr: BankAddress, lo_row: int, hi_row: int,
+               cycle: int) -> None:
+        # A refresh window boundary resets the threat; clearing per-REF
+        # segment would be more precise but strictly weaker for the
+        # attacker, so Graphene clears its table once per full window
+        # sweep (approximated by clearing when the sweep wraps to row 0).
+        if lo_row == 0 and addr in self._tables:
+            self._tables[addr].clear()

@@ -1,0 +1,106 @@
+"""Mithril: CbS-tracked TRR over the RFM interface (Kim et al., HPCA 2022).
+
+Each bank carries a Counter-based Summary (CbS) table; on every RFM the
+device refreshes the neighbours of the hottest tracked row and settles
+its counter to the table floor.  Mithril trades table size against
+RAAIMT for a target ``H_cnt``:
+
+* **Mithril-perf** -- a large (~10 KB/bank) CAM lets RFMs be rare: the
+  table alone bounds the max accumulated count, so RAAIMT can sit well
+  above SHADOW's.
+* **Mithril-area** -- RAAIMT pinned at 32 (paper Section VII-C) with a
+  smaller table (~5 KB/bank at 2K ``H_cnt``).
+
+Blast handling mirrors PARFM: 2*radius victim refreshes per RFM and a
+blast-derated RAAIMT.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.dram.device import BankAddress
+from repro.mitigations.base import Mitigation, RfmOutcome
+from repro.mitigations.trackers import CounterSummary
+from repro.rowhammer.model import blast_weight_sum
+
+
+class Mithril(Mitigation):
+    """CbS tracker + RFM-hosted TRR."""
+
+    def __init__(self, raaimt: int, table_entries: int,
+                 blast_radius: int = 1, variant: str = "custom"):
+        super().__init__()
+        if raaimt <= 0:
+            raise ValueError("raaimt must be positive")
+        if table_entries <= 0:
+            raise ValueError("table_entries must be positive")
+        self._raaimt = raaimt
+        self.table_entries = table_entries
+        self.blast_radius = max(1, blast_radius)
+        self.variant = variant
+        self._tables: Dict[BankAddress, CounterSummary] = {}
+        self.trr_count = 0
+        self.name = (f"Mithril-{variant}-r{raaimt}-e{table_entries}"
+                     f"-b{self.blast_radius}")
+
+    @property
+    def uses_rfm(self) -> bool:
+        return True
+
+    @property
+    def raaimt(self) -> int:
+        return self._raaimt
+
+    def table_kilobytes(self) -> float:
+        """CAM footprint per bank: ~(row address + counter) per entry."""
+        bits_per_entry = 18 + 22   # 18b row tag + 22b counter, as in the paper's sizing
+        return self.table_entries * bits_per_entry / 8 / 1024
+
+    def on_activate(self, addr: BankAddress, pa_row: int, da_row: int,
+                    cycle: int):
+        table = self._tables.setdefault(
+            addr, CounterSummary(self.table_entries))
+        table.observe(da_row)
+        return None
+
+    def on_rfm(self, addr: BankAddress, cycle: int) -> RfmOutcome:
+        self._require_bound()
+        table = self._tables.get(addr)
+        if table is None:
+            return RfmOutcome(duration=0)
+        hottest = table.hottest()
+        if hottest is None:
+            return RfmOutcome(duration=0)
+        target, _count = hottest
+        table.settle(target)
+        layout = self.geometry.layout
+        victims = [row for row, _d in
+                   layout.da_neighbors(target, self.blast_radius)]
+        self.trr_count += len(victims)
+        duration = len(victims) * self.timing.tRC
+        return RfmOutcome(duration=duration, refreshed_rows=victims)
+
+
+def _blast_derate(raaimt: int, blast_radius: int) -> int:
+    scale = blast_weight_sum(1) / blast_weight_sum(max(1, blast_radius))
+    return max(1, int(raaimt * scale))
+
+
+def mithril_perf(hcnt: int, blast_radius: int = 1) -> Mithril:
+    """Performance-optimized configuration (~10 KB CAM per bank)."""
+    entries = 2048
+    raaimt = _blast_derate(max(64, hcnt // 32), blast_radius)
+    return Mithril(raaimt, entries, blast_radius, variant="perf")
+
+
+def mithril_area(hcnt: int, blast_radius: int = 1) -> Mithril:
+    """Area-optimized configuration: RAAIMT = 32 (paper Section VII-C).
+
+    The table shrinks with the threshold down to ~5 KB per bank at 2K
+    ``H_cnt`` (the paper's quoted worst case), always staying below the
+    perf configuration's 10 KB.
+    """
+    entries = min(1024, max(128, hcnt // 2))
+    raaimt = _blast_derate(32, blast_radius)
+    return Mithril(max(raaimt, 8), entries, blast_radius, variant="area")

@@ -1,0 +1,11 @@
+"""The unprotected baseline every figure normalizes against."""
+
+from __future__ import annotations
+
+from repro.mitigations.base import Mitigation
+
+
+class NoMitigation(Mitigation):
+    """No Row Hammer protection: plain JEDEC refresh only."""
+
+    name = "baseline"

@@ -1,0 +1,69 @@
+"""PARA: probabilistic adjacent-row activation (Kim et al., ISCA 2014).
+
+Stateless TRR: on every ACT, with probability ``p`` the device refreshes
+one neighbour of the activated row (a side chosen at random).  With
+blast-aware extension, all rows within the blast radius on the chosen
+side are refreshed.
+
+The protection analysis gives the failure probability per hammer
+campaign as roughly ``(1 - p/2)^(hcnt/2)`` per side; :func:`para_probability`
+inverts that for a target failure rate, which is how the experiments
+pick ``p`` per ``H_cnt``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.dram.device import BankAddress
+from repro.mitigations.base import ActOutcome, Mitigation
+from repro.utils.rng import RandomSource, SystemRng
+
+
+def para_probability(hcnt: int, target_failure: float = 1e-4) -> float:
+    """Pick ``p`` so a single campaign fails with <= ``target_failure``.
+
+    Solves ``(1 - p)^(hcnt/2) <= target`` for p; the hcnt/2 exponent is
+    the number of chances PARA gets while the attacker accumulates half
+    the threshold on one side.
+    """
+    if hcnt <= 1:
+        raise ValueError("hcnt must be > 1")
+    if not 0 < target_failure < 1:
+        raise ValueError("target_failure must be in (0, 1)")
+    p = 1.0 - target_failure ** (2.0 / hcnt)
+    return min(1.0, max(p, 1e-9))
+
+
+class Para(Mitigation):
+    """Stand-alone PARA (per-ACT sampling, no RFM)."""
+
+    def __init__(self, probability: float, blast_radius: int = 1,
+                 rng: RandomSource = None):
+        super().__init__()
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be within [0, 1]")
+        if blast_radius < 1:
+            raise ValueError("blast_radius must be >= 1")
+        self.probability = probability
+        self.blast_radius = blast_radius
+        self.rng = rng or SystemRng(0xBA5E)
+        self.trr_count = 0
+        self.name = f"PARA-p{probability:.2g}"
+
+    def on_activate(self, addr: BankAddress, pa_row: int, da_row: int,
+                    cycle: int) -> ActOutcome:
+        # Bernoulli(p) trial using 24 fresh random bits.
+        draw = self.rng.next_bits(24)
+        if draw >= int(self.probability * (1 << 24)):
+            return ActOutcome()
+        side = 1 if self.rng.next_bits(1) else -1
+        layout = self.geometry.layout
+        lo, hi = layout.da_range(layout.subarray_of_da(da_row))
+        victims = []
+        for d in range(1, self.blast_radius + 1):
+            row = da_row + side * d
+            if lo <= row < hi:
+                victims.append(row)
+        self.trr_count += len(victims)
+        return ActOutcome(trr_rows=victims)

@@ -1,0 +1,137 @@
+"""Randomized Row-Swap (Saileshwar et al., ASPLOS 2022).
+
+The state-of-the-art row-shuffle *competitor* to SHADOW: a Misra-Gries
+tracker at the MC samples hot rows; when a row's count crosses the swap
+threshold (the paper favourably grants RRS ``H_cnt / 6``), the MC swaps
+it with a uniformly random row of the bank through an indirection
+table.
+
+The decisive cost (paper Section III-A): each swap streams two rows
+through the memory channel, blocking it for >= 4 microseconds.  At low
+``H_cnt`` the swap rate explodes and so does the blocking time -- the
+mechanism behind RRS's collapse in Figure 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.dram.device import BankAddress
+from repro.mitigations.base import ActOutcome, Mitigation
+from repro.mitigations.trackers import MisraGries
+from repro.utils.rng import RandomSource, SystemRng
+
+
+@dataclass(frozen=True)
+class RrsConfig:
+    """RRS sizing for a target ``H_cnt``."""
+
+    hcnt: int
+    swap_latency_ns: float = 4000.0   # paper Section III-A: >= 4 us
+    threshold_divisor: int = 6        # paper Section VII-C: hcnt/6
+    table_entries: int = None
+
+    def __post_init__(self) -> None:
+        if self.hcnt <= self.threshold_divisor:
+            raise ValueError("hcnt too small for the swap threshold")
+
+    @property
+    def swap_threshold(self) -> int:
+        return max(1, self.hcnt // self.threshold_divisor)
+
+
+class _BankIndirection:
+    """The Row Indirection Table of one bank: a PA->DA permutation."""
+
+    def __init__(self, identity):
+        self._identity = identity
+        self._forward: Dict[int, int] = {}
+        self.swap_count = 0
+
+    def translate(self, pa_row: int) -> int:
+        da = self._forward.get(pa_row)
+        if da is None:
+            return self._identity(pa_row)
+        return da
+
+    def swap(self, pa_a: int, pa_b: int) -> None:
+        da_a, da_b = self.translate(pa_a), self.translate(pa_b)
+        self._forward[pa_a] = da_b
+        self._forward[pa_b] = da_a
+        self.swap_count += 1
+
+    @property
+    def moved_rows(self) -> int:
+        return len(self._forward)
+
+
+class RandomizedRowSwap(Mitigation):
+    """Misra-Gries sampling + channel-blocking row swaps."""
+
+    def __init__(self, config: RrsConfig, rng: RandomSource = None):
+        super().__init__()
+        self.config = config
+        self.rng = rng or SystemRng(0x5A5A)
+        self._trackers: Dict[BankAddress, MisraGries] = {}
+        self._tables: Dict[BankAddress, _BankIndirection] = {}
+        self.swaps = 0
+        self.name = f"RRS-h{config.hcnt}"
+        self._swap_cycles = None
+        self._entries = None
+
+    @classmethod
+    def for_hcnt(cls, hcnt: int, rng: RandomSource = None) -> "RandomizedRowSwap":
+        return cls(RrsConfig(hcnt=hcnt), rng)
+
+    def bind(self, geometry, timing) -> None:
+        super().bind(geometry, timing)
+        self._swap_cycles = timing.cycles(self.config.swap_latency_ns)
+        if self.config.table_entries is not None:
+            self._entries = self.config.table_entries
+        else:
+            # Misra-Gries sizing: worst-case ACTs per window / threshold.
+            acts_per_window = timing.tREFW // timing.tRC
+            self._entries = max(
+                16, acts_per_window // self.config.swap_threshold)
+
+    # -- address translation ----------------------------------------------------
+
+    def _table(self, addr: BankAddress) -> _BankIndirection:
+        table = self._tables.get(addr)
+        if table is None:
+            table = _BankIndirection(self.geometry.layout.identity_da)
+            self._tables[addr] = table
+        return table
+
+    def translate(self, addr: BankAddress, pa_row: int) -> int:
+        self._require_bound()
+        return self._table(addr).translate(pa_row)
+
+    def translation_generation(self, addr: BankAddress) -> int:
+        table = self._tables.get(addr)
+        return table.swap_count if table is not None else 0
+
+    # -- swap logic ---------------------------------------------------------------
+
+    def on_activate(self, addr: BankAddress, pa_row: int, da_row: int,
+                    cycle: int) -> ActOutcome:
+        tracker = self._trackers.setdefault(addr, MisraGries(self._entries))
+        estimate = tracker.observe(pa_row)
+        if estimate < self.config.swap_threshold:
+            return ActOutcome()
+        partner = self.rng.randrange(self.geometry.rows_per_bank)
+        if partner == pa_row:
+            partner = (partner + 1) % self.geometry.rows_per_bank
+        table = self._table(addr)
+        old_a, old_b = table.translate(pa_row), table.translate(partner)
+        table.swap(pa_row, partner)
+        tracker.reset_key(pa_row)
+        tracker.reset_key(partner)
+        self.swaps += 1
+        # The swap streams both rows over the channel: both physical rows
+        # end up rewritten (fault reset) and the channel blocks.
+        return ActOutcome(
+            channel_block_cycles=self._swap_cycles,
+            restored_rows=[old_a, old_b],
+        )

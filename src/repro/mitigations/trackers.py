@@ -1,0 +1,190 @@
+"""Activation-tracking data structures used by the baseline mitigations.
+
+* :class:`MisraGries` -- frequent-items tracker with a spillover counter
+  (the Graphene/RRS formulation [Park MICRO'20, Saileshwar ASPLOS'22]).
+* :class:`CounterSummary` -- Mithril's Counter-based Summary (CbS): a
+  bounded table whose minimum counter inherits evicted counts, queried
+  for the *maximum* entry at each RFM [Kim HPCA'22].
+* :class:`DualCountingBloomFilter` -- BlockHammer's D-CBF: two counting
+  Bloom filters alternating over epoch halves [Yaglikci HPCA'21].
+* :class:`CountMinSketch` -- the random-projection counter underlying
+  the Bloom-filter variants, exposed for the RFM-filtering extension
+  (paper Section VIII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+class MisraGries:
+    """Misra-Gries heavy-hitters with a spillover counter.
+
+    Guarantees: any key activated more than ``spill + capacity`` times
+    since its last reset is present in the table with a count no less
+    than its true count minus the spillover.  That bounded undercount is
+    exactly what Graphene's TRR threshold accounts for.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.counts: Dict[int, int] = {}
+        self.spill = 0
+
+    def observe(self, key: int) -> int:
+        """Count one occurrence; returns the key's current estimate."""
+        if key in self.counts:
+            self.counts[key] += 1
+            return self.counts[key]
+        if len(self.counts) < self.capacity:
+            self.counts[key] = self.spill + 1
+            return self.counts[key]
+        self.spill += 1
+        # Replace a minimal entry once the spillover catches up to it.
+        min_key = min(self.counts, key=self.counts.get)
+        if self.counts[min_key] <= self.spill:
+            del self.counts[min_key]
+            self.counts[key] = self.spill + 1
+            return self.counts[key]
+        return self.spill
+
+    def estimate(self, key: int) -> int:
+        return self.counts.get(key, self.spill)
+
+    def max_entry(self) -> Optional[Tuple[int, int]]:
+        if not self.counts:
+            return None
+        key = max(self.counts, key=self.counts.get)
+        return key, self.counts[key]
+
+    def reset_key(self, key: int) -> None:
+        """Graphene-style reset after a TRR: drop the entry to the floor."""
+        if key in self.counts:
+            self.counts[key] = self.spill
+
+    def clear(self) -> None:
+        self.counts.clear()
+        self.spill = 0
+
+
+class CounterSummary:
+    """Mithril's CbS: bounded counter table with min-inheritance insert."""
+
+    def __init__(self, entries: int):
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        self.entries = entries
+        self.counts: Dict[int, int] = {}
+
+    def observe(self, key: int) -> None:
+        if key in self.counts:
+            self.counts[key] += 1
+            return
+        if len(self.counts) < self.entries:
+            self.counts[key] = 1
+            return
+        # Evict a minimum entry; the newcomer inherits min + 1 so its
+        # count never undercounts by more than the table minimum.
+        min_key = min(self.counts, key=self.counts.get)
+        min_count = self.counts.pop(min_key)
+        self.counts[key] = min_count + 1
+
+    def hottest(self) -> Optional[Tuple[int, int]]:
+        """The entry with the highest count (the RFM mitigation target)."""
+        if not self.counts:
+            return None
+        key = max(self.counts, key=self.counts.get)
+        return key, self.counts[key]
+
+    def floor(self) -> int:
+        return min(self.counts.values(), default=0)
+
+    def settle(self, key: int) -> None:
+        """After mitigating ``key``, sink its count below the table floor.
+
+        Going one under the current minimum (rather than to it) makes
+        tie-breaking rotate across equally-hot rows instead of repeatedly
+        re-mitigating the same entry.
+        """
+        if key in self.counts:
+            self.counts[key] = max(0, self.floor() - 1)
+
+    def clear(self) -> None:
+        self.counts.clear()
+
+
+class CountMinSketch:
+    """Count-min sketch with multiplicative hashing."""
+
+    _PRIMES = (0x9E3779B1, 0x85EBCA77, 0xC2B2AE3D, 0x27D4EB2F,
+               0x165667B1, 0x94D049BB)
+
+    def __init__(self, width: int, depth: int = 4):
+        if width <= 0 or depth <= 0:
+            raise ValueError("width and depth must be positive")
+        if depth > len(self._PRIMES):
+            raise ValueError(f"depth is limited to {len(self._PRIMES)}")
+        self.width = width
+        self.depth = depth
+        self.rows: List[List[int]] = [[0] * width for _ in range(depth)]
+
+    def _index(self, row: int, key: int) -> int:
+        h = (key * self._PRIMES[row] + row) & 0xFFFFFFFF
+        h ^= h >> 15
+        return h % self.width
+
+    def add(self, key: int, amount: int = 1) -> None:
+        for r in range(self.depth):
+            self.rows[r][self._index(r, key)] += amount
+
+    def estimate(self, key: int) -> int:
+        return min(self.rows[r][self._index(r, key)]
+                   for r in range(self.depth))
+
+    def clear(self) -> None:
+        for row in self.rows:
+            for i in range(len(row)):
+                row[i] = 0
+
+
+@dataclass
+class _Epoch:
+    filter: CountMinSketch
+    started: int
+
+
+class DualCountingBloomFilter:
+    """BlockHammer's D-CBF: two sketches alternating per epoch half.
+
+    One sketch is *active* (counts new ACTs); the other holds the
+    previous half-epoch.  A row's estimate is the max of the two, so a
+    row hot across an epoch boundary is still caught; clearing the
+    retired sketch bounds staleness to one epoch.
+    """
+
+    def __init__(self, width: int, epoch_cycles: int, depth: int = 4):
+        if epoch_cycles <= 0:
+            raise ValueError("epoch_cycles must be positive")
+        self.epoch_cycles = epoch_cycles
+        self._active = _Epoch(CountMinSketch(width, depth), 0)
+        self._retired = _Epoch(CountMinSketch(width, depth), -epoch_cycles)
+        self.rotations = 0
+
+    def _maybe_rotate(self, cycle: int) -> None:
+        while cycle - self._active.started >= self.epoch_cycles:
+            self._retired.filter.clear()
+            self._retired, self._active = self._active, self._retired
+            self._active.started = self._retired.started + self.epoch_cycles
+            self.rotations += 1
+
+    def observe(self, key: int, cycle: int) -> None:
+        self._maybe_rotate(cycle)
+        self._active.filter.add(key)
+
+    def estimate(self, key: int, cycle: int) -> int:
+        self._maybe_rotate(cycle)
+        return max(self._active.filter.estimate(key),
+                   self._retired.filter.estimate(key))

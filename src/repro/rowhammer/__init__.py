@@ -1,0 +1,58 @@
+"""Row Hammer fault model and attack library.
+
+:mod:`repro.rowhammer.model` accumulates activation-induced disturbance
+per DA row with the paper's blast-radius weighting (effect halves per
+wordline of distance, Section II-D) and reports bit-flips when a victim
+crosses ``H_cnt`` within its effective refresh window.
+
+:mod:`repro.rowhammer.attacks` generates the classic access patterns
+(single-, double-, many-sided, blast) as physical-address streams, and
+:mod:`repro.rowhammer.adversary` implements the three SHADOW-specific
+adversarial scenarios of Section VII-A / Appendix XI.
+"""
+
+from repro.rowhammer.attacks import (
+    AttackPattern,
+    blast_attack,
+    double_sided,
+    half_double,
+    many_sided,
+    single_sided,
+)
+from repro.rowhammer.adversary import (
+    ScenarioIAttacker,
+    ScenarioIIAttacker,
+    ScenarioIIIAttacker,
+)
+from repro.rowhammer.model import (
+    BitFlip,
+    DisturbanceModel,
+    HammerConfig,
+    blast_weight,
+    blast_weight_sum,
+)
+from repro.rowhammer.templating import (
+    Template,
+    TemplatingCampaign,
+    TemplatingReport,
+)
+
+__all__ = [
+    "AttackPattern",
+    "BitFlip",
+    "DisturbanceModel",
+    "HammerConfig",
+    "ScenarioIAttacker",
+    "ScenarioIIAttacker",
+    "ScenarioIIIAttacker",
+    "Template",
+    "TemplatingCampaign",
+    "TemplatingReport",
+    "blast_attack",
+    "blast_weight",
+    "blast_weight_sum",
+    "double_sided",
+    "half_double",
+    "many_sided",
+    "single_sided",
+]

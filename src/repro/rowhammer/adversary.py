@@ -1,0 +1,95 @@
+"""SHADOW-specific adversaries (paper Section VII-A, Appendix XI).
+
+Against a shuffling defense the attacker cannot rely on a fixed
+aggressor-victim geometry; the paper analyzes three adaptive scenarios:
+
+* **Scenario I** -- one aggressor per RFM interval, re-chosen (new PA in
+  the same subarray) every interval.  Relies on the shuffled row landing
+  next to a previously-disturbed victim (birthday-paradox style).
+* **Scenario II** -- ``N_aggr`` fixed aggressor PAs inside one subarray,
+  hammered round-robin; relies on at least one aggressor evading the
+  per-RFM shuffle until a victim accumulates ``H_cnt``.
+* **Scenario III** -- like II but the aggressors spread across multiple
+  subarrays, diluting each subarray's RFM attention.
+
+The adversaries produce the PA rows to activate during each RFM
+interval; :mod:`repro.analysis.montecarlo` wires them against the real
+SHADOW mechanism and the disturbance model.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dram.subarray import SubarrayLayout
+from repro.utils.rng import RandomSource
+
+
+class ScenarioIAttacker:
+    """One fresh aggressor PA per RFM interval, same subarray."""
+
+    name = "scenario-I"
+
+    def __init__(self, layout: SubarrayLayout, subarray: int,
+                 rng: RandomSource):
+        self._layout = layout
+        self._subarray = subarray
+        self._rng = rng
+
+    def interval_rows(self, interval_index: int, acts: int) -> List[int]:
+        """PA rows to activate during one RFM interval (``acts`` ACTs)."""
+        offset = self._rng.randrange(self._layout.rows_per_subarray)
+        row = self._layout.pa_row(self._subarray, offset)
+        return [row] * acts
+
+
+class ScenarioIIAttacker:
+    """``n_aggr`` fixed aggressor PAs inside one subarray, round-robin."""
+
+    name = "scenario-II"
+
+    def __init__(self, layout: SubarrayLayout, subarray: int, n_aggr: int,
+                 rng: RandomSource):
+        if n_aggr <= 0:
+            raise ValueError("n_aggr must be positive")
+        if n_aggr > layout.rows_per_subarray:
+            raise ValueError("more aggressors than rows in the subarray")
+        offsets = list(range(layout.rows_per_subarray))
+        rng.shuffle(offsets)
+        self.rows = [layout.pa_row(subarray, off) for off in offsets[:n_aggr]]
+        self.n_aggr = n_aggr
+
+    def interval_rows(self, interval_index: int, acts: int) -> List[int]:
+        return [self.rows[i % self.n_aggr] for i in range(acts)]
+
+
+class ScenarioIIIAttacker:
+    """``n_aggr`` fixed aggressor PAs spread across subarrays."""
+
+    name = "scenario-III"
+
+    def __init__(self, layout: SubarrayLayout, n_aggr: int,
+                 rng: RandomSource, subarrays: List[int] = None):
+        if n_aggr <= 0:
+            raise ValueError("n_aggr must be positive")
+        if subarrays is None:
+            subarrays = list(range(layout.subarrays_per_bank))
+        if n_aggr > len(subarrays) * layout.rows_per_subarray:
+            raise ValueError("more aggressors than available rows")
+        self.rows: List[int] = []
+        used = set()
+        while len(self.rows) < n_aggr:
+            sub = subarrays[self._pick(rng, len(subarrays))]
+            off = self._pick(rng, layout.rows_per_subarray)
+            row = layout.pa_row(sub, off)
+            if row not in used:
+                used.add(row)
+                self.rows.append(row)
+        self.n_aggr = n_aggr
+
+    @staticmethod
+    def _pick(rng: RandomSource, bound: int) -> int:
+        return rng.randrange(bound)
+
+    def interval_rows(self, interval_index: int, acts: int) -> List[int]:
+        return [self.rows[i % self.n_aggr] for i in range(acts)]

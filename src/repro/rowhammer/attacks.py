@@ -1,0 +1,132 @@
+"""Classic Row Hammer access-pattern generators.
+
+Each generator returns an :class:`AttackPattern`: a named, repeatable
+stream of PA (MC-visible) row numbers to activate within one bank.  The
+patterns correspond to the attack taxonomy in paper Sections II-C/II-D:
+single-sided, double-sided, many-sided (TRRespass-style), and blast
+attacks (Half-Double-style non-adjacent hammering).
+
+Patterns speak *physical addresses*: the attacker controls PAs and knows
+the initial static PA-to-DA mapping (threat model assumption 4).  What
+DA rows are disturbed depends on the active mitigation's remapping.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+
+@dataclass(frozen=True)
+class AttackPattern:
+    """A repeatable aggressor-row stream."""
+
+    name: str
+    aggressor_rows: Sequence[int]
+    intended_victims: Sequence[int]
+
+    def __post_init__(self) -> None:
+        if not self.aggressor_rows:
+            raise ValueError("an attack needs at least one aggressor row")
+
+    def rows(self, total_acts: int) -> Iterator[int]:
+        """Yield ``total_acts`` row activations, round-robin."""
+        if total_acts < 0:
+            raise ValueError("total_acts must be non-negative")
+        cycle = itertools.cycle(self.aggressor_rows)
+        for _ in range(total_acts):
+            yield next(cycle)
+
+    @property
+    def distinct_aggressors(self) -> int:
+        return len(set(self.aggressor_rows))
+
+
+def single_sided(target_row: int, partner_row: int = None) -> AttackPattern:
+    """Hammer one row (plus a far 'dummy' row to defeat the row buffer).
+
+    The partner row forces a row-buffer conflict so every access is an
+    ACT; by default it sits far away (no blast interaction).
+    """
+    if target_row < 0:
+        raise ValueError("rows must be non-negative")
+    if partner_row is None:
+        partner_row = target_row + 64
+    return AttackPattern(
+        name="single-sided",
+        aggressor_rows=(target_row, partner_row),
+        intended_victims=(target_row - 1, target_row + 1),
+    )
+
+
+def double_sided(victim_row: int) -> AttackPattern:
+    """Hammer both neighbours of the victim (the classic strongest form)."""
+    if victim_row < 1:
+        raise ValueError("victim must have a row on each side")
+    return AttackPattern(
+        name="double-sided",
+        aggressor_rows=(victim_row - 1, victim_row + 1),
+        intended_victims=(victim_row,),
+    )
+
+
+def many_sided(victim_row: int, sides: int = 9) -> AttackPattern:
+    """TRRespass-style n-sided pattern: aggressor pairs around decoys.
+
+    Alternating aggressors spaced two apart (victims in between), which
+    defeats simple in-DRAM TRR samplers.
+    """
+    if sides < 2:
+        raise ValueError("a many-sided attack needs at least 2 aggressors")
+    start = victim_row - sides + (sides % 2)
+    if start < 0:
+        raise ValueError("victim too close to row 0 for this many sides")
+    aggressors: List[int] = [start + 2 * i for i in range(sides)]
+    victims = [row + 1 for row in aggressors[:-1]]
+    return AttackPattern(
+        name=f"{sides}-sided",
+        aggressor_rows=tuple(aggressors),
+        intended_victims=tuple(victims),
+    )
+
+
+def half_double(victim_row: int) -> AttackPattern:
+    """Half-Double (Kogler et al., USENIX Security 2022).
+
+    Hammers the rows at distance 2 from the victim heavily, plus the
+    distance-1 rows lightly.  Against a TRR defense, the light near-row
+    activity triggers victim... no -- it triggers TRR *of the victim's
+    neighbours' neighbours*: each TRR refresh of a distance-1 row is
+    itself an activation adjacent to the victim, so the defense supplies
+    the final hammer strokes (requires the fault model's
+    ``refresh_hammers_neighbors``).
+    """
+    if victim_row < 2:
+        raise ValueError("victim too close to row 0 for half-double")
+    return AttackPattern(
+        name="half-double",
+        # 8:1 far:near duty cycle -- far rows dominate, near rows keep
+        # the defense busy refreshing right next to the victim.
+        aggressor_rows=(victim_row - 2, victim_row + 2) * 4
+        + (victim_row - 1, victim_row + 1),
+        intended_victims=(victim_row,),
+    )
+
+
+def blast_attack(victim_row: int, radius: int = 2) -> AttackPattern:
+    """Half-Double-style non-adjacent attack.
+
+    Hammers rows at +/- ``radius`` from the victim, flying under defenses
+    that only watch immediate neighbours.  Requires ``radius >= 2`` (at
+    radius 1 it degenerates to double-sided).
+    """
+    if radius < 2:
+        raise ValueError("a blast attack uses distance >= 2")
+    if victim_row < radius:
+        raise ValueError("victim too close to row 0 for this radius")
+    return AttackPattern(
+        name=f"blast-r{radius}",
+        aggressor_rows=(victim_row - radius, victim_row + radius),
+        intended_victims=(victim_row,),
+    )

@@ -1,0 +1,180 @@
+"""Disturbance accumulation and bit-flip detection.
+
+Threat model (paper Section II-D):
+
+1. more than ``H_cnt`` (weighted) activations within the refresh window
+   flip bits in the victim row;
+2. non-adjacent rows inside the blast radius are also disturbed, with
+   the effect halving per wordline of distance;
+3. disturbance does not cross subarray boundaries;
+4. an activation (or refresh) of a row restores its cells, resetting its
+   accumulated disturbance.
+
+The model lives entirely in DA (device address) space: what matters for
+charge disturbance is physical adjacency after any remapping, which is
+exactly the property SHADOW randomizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.dram.device import BankAddress
+from repro.dram.subarray import SubarrayLayout
+
+
+def blast_weight(distance: int) -> float:
+    """Disturbance weight of an aggressor at ``distance`` wordlines.
+
+    Adjacent rows (distance 1) receive weight 1; the effect halves per
+    additional wordline (paper Section II-D assumption 2).
+    """
+    if distance < 1:
+        raise ValueError("distance must be at least 1")
+    return 2.0 ** (1 - distance)
+
+
+def blast_weight_sum(radius: int) -> float:
+    """Total weight an aggressor deposits across both sides: ``W_sum``.
+
+    For the paper's default radius of 3 this is 2*(1 + 1/2 + 1/4) = 3.5,
+    matching the ``W_sum = 3.5`` default of Appendix XI.
+    """
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    return 2.0 * sum(blast_weight(d) for d in range(1, radius + 1))
+
+
+@dataclass(frozen=True)
+class HammerConfig:
+    """Fault-model parameters."""
+
+    hcnt: int = 4096          # Hammer Count threshold
+    blast_radius: int = 3     # paper's baseline radius
+    layout: SubarrayLayout = SubarrayLayout()
+    #: A targeted (TRR) refresh is physically an activation of the
+    #: refreshed row, so it disturbs *that row's* neighbours -- the
+    #: mechanism Half-Double [Kogler et al., USENIX Sec'22] abuses to
+    #: turn a defense's own mitigations into hammer amplification
+    #: (paper Section II-C: "sometimes even abusing [47] any currently
+    #: implemented RH protection scheme").  Off by default to keep the
+    #: conservative defender-friendly model; the half-double experiments
+    #: turn it on.
+    refresh_hammers_neighbors: bool = False
+
+    def __post_init__(self) -> None:
+        if self.hcnt <= 0:
+            raise ValueError("hcnt must be positive")
+        if self.blast_radius < 0:
+            raise ValueError("blast_radius must be non-negative")
+
+
+@dataclass(frozen=True)
+class BitFlip:
+    """A Row Hammer bit-flip event."""
+
+    addr: BankAddress
+    da_row: int
+    cycle: int
+    disturbance: float
+
+
+class DisturbanceModel:
+    """Per-row weighted disturbance counters with reset semantics.
+
+    Implements the observer interface the memory controller calls:
+    ``on_activate``, ``on_refresh_range``, ``on_row_refresh``,
+    ``on_row_copy``.
+    """
+
+    def __init__(self, config: HammerConfig,
+                 record_all_flips: bool = False):
+        self.config = config
+        self._counters: Dict[Tuple[BankAddress, int], float] = {}
+        self.flips: List[BitFlip] = []
+        self._flipped: set = set()
+        self._record_all = record_all_flips
+        self.total_acts = 0
+
+    # -- observer interface -------------------------------------------------------
+
+    def on_activate(self, addr: BankAddress, da_row: int, cycle: int) -> None:
+        """Charge disturbance to the neighbours; restore the row itself."""
+        self.total_acts += 1
+        layout = self.config.layout
+        # Activation restores the aggressor's own cells.
+        self._counters.pop((addr, da_row), None)
+        for victim, distance in layout.da_neighbors(
+                da_row, self.config.blast_radius):
+            key = (addr, victim)
+            value = self._counters.get(key, 0.0) + blast_weight(distance)
+            self._counters[key] = value
+            if value >= self.config.hcnt:
+                self._record_flip(addr, victim, cycle, value)
+
+    def on_refresh_range(self, addr: BankAddress, lo: int, hi: int,
+                         cycle: int) -> None:
+        """Auto-refresh of DA rows ``[lo, hi)`` (wrapping modulo the bank)."""
+        rows = self.config.layout.da_rows_per_bank
+        for r in range(lo, hi):
+            self._counters.pop((addr, r % rows), None)
+
+    def on_row_refresh(self, addr: BankAddress, da_row: int,
+                       cycle: int) -> None:
+        """Targeted refresh (TRR victim refresh, incremental refresh).
+
+        With ``refresh_hammers_neighbors`` the refresh additionally
+        charges the refreshed row's own neighbours, exactly like the
+        activation it physically is (the Half-Double lever).
+        """
+        self._counters.pop((addr, da_row), None)
+        if self.config.refresh_hammers_neighbors:
+            for victim, distance in self.config.layout.da_neighbors(
+                    da_row, self.config.blast_radius):
+                key = (addr, victim)
+                value = self._counters.get(key, 0.0) + blast_weight(distance)
+                self._counters[key] = value
+                if value >= self.config.hcnt:
+                    self._record_flip(addr, victim, cycle, value)
+
+    def on_row_copy(self, addr: BankAddress, src: int, dst: int,
+                    cycle: int) -> None:
+        """In-DRAM row copy: both rows end up fully restored.
+
+        The source row's cells are sensed and restored by the copy's
+        activation; the destination is written with full charge.  The
+        *logical* data moved, but disturbance counters belong to physical
+        cells, so both physical rows reset.
+        """
+        self._counters.pop((addr, src), None)
+        self._counters.pop((addr, dst), None)
+
+    # -- results --------------------------------------------------------------------
+
+    @property
+    def flipped(self) -> bool:
+        return bool(self.flips)
+
+    def first_flip(self) -> Optional[BitFlip]:
+        return self.flips[0] if self.flips else None
+
+    def disturbance(self, addr: BankAddress, da_row: int) -> float:
+        return self._counters.get((addr, da_row), 0.0)
+
+    def max_disturbance(self) -> float:
+        return max(self._counters.values(), default=0.0)
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self.flips.clear()
+        self._flipped.clear()
+        self.total_acts = 0
+
+    def _record_flip(self, addr: BankAddress, da_row: int, cycle: int,
+                     value: float) -> None:
+        key = (addr, da_row)
+        if not self._record_all and key in self._flipped:
+            return
+        self._flipped.add(key)
+        self.flips.append(BitFlip(addr, da_row, cycle, value))

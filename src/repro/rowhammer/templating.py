@@ -1,0 +1,190 @@
+"""Memory templating campaigns (paper Sections II-C and III-A).
+
+A real Row Hammer exploit has two phases: *templating* (find PA triples
+``(aggr1, victim, aggr2)`` that actually flip, by hammering and
+scanning) and *exploitation* (massage the target data onto a templated
+victim and re-hammer the recorded aggressors).  The attack only works
+if the adjacency discovered during templating still holds at
+exploitation time.
+
+Against a static PA-to-DA mapping the template stays valid forever --
+that is what makes the classic attacks (privilege escalation via page-
+table spraying etc.) practical.  SHADOW's row-shuffle re-randomizes the
+mapping continuously, so a template decays: by the time the attacker
+exploits it, the recorded aggressors no longer flank the recorded
+victim.  This module measures exactly that decay.
+
+The campaign drives the *mechanism level* (translation + disturbance
+model + per-RFM shuffle), not the cycle-level MC, so thousands of
+hammer rounds run in reasonable time; the cycle-accurate path is
+exercised by :mod:`tests/test_integration`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.controller import ShadowBankController
+from repro.dram.device import BankAddress
+from repro.dram.subarray import SubarrayLayout
+from repro.rowhammer.model import DisturbanceModel, HammerConfig
+from repro.utils.rng import RandomSource, SystemRng
+
+_ADDR = BankAddress(0, 0, 0)
+
+
+@dataclass(frozen=True)
+class Template:
+    """One templated flip: hammer these PAs, this PA's data flips."""
+
+    aggressor_pas: Tuple[int, int]
+    victim_pa: int
+
+
+@dataclass
+class TemplatingReport:
+    """Outcome of a templating + exploitation campaign."""
+
+    templates_found: int
+    exploit_attempts: int
+    exploit_successes: int
+    hammer_rounds: int
+
+    @property
+    def reuse_rate(self) -> float:
+        """Fraction of templates that still flipped at exploit time."""
+        if self.exploit_attempts == 0:
+            return 0.0
+        return self.exploit_successes / self.exploit_attempts
+
+
+class _Substrate:
+    """Translation + disturbance + optional per-RFM shuffle."""
+
+    def __init__(self, layout: SubarrayLayout, hcnt: int, raaimt: int,
+                 blast_radius: int, shadow_rng: Optional[RandomSource]):
+        self.layout = layout
+        self.raaimt = raaimt
+        self.hcnt = hcnt
+        self.model = DisturbanceModel(
+            HammerConfig(hcnt=hcnt, blast_radius=blast_radius,
+                         layout=layout),
+            record_all_flips=True)
+        self.shadow: Optional[ShadowBankController] = None
+        if shadow_rng is not None:
+            self.shadow = ShadowBankController(layout, raaimt=raaimt,
+                                               rng=shadow_rng)
+        self._acts_since_rfm = 0
+
+    def translate(self, pa_row: int) -> int:
+        if self.shadow is not None:
+            return self.shadow.translate(pa_row)
+        return self.layout.identity_da(pa_row)
+
+    def occupant(self, da_row: int) -> Optional[int]:
+        """PA currently stored in a DA slot (None for empty slots)."""
+        if self.shadow is None:
+            sub = self.layout.subarray_of_da(da_row)
+            off = self.layout.da_offset(da_row)
+            if off >= self.layout.rows_per_subarray:
+                return None
+            return self.layout.pa_row(sub, off)
+        sub = self.layout.subarray_of_da(da_row)
+        off = self.layout.da_offset(da_row)
+        pa_off = self.shadow.remapping_row(sub).occupant_of(off)
+        if pa_off is None:
+            return None
+        return self.layout.pa_row(sub, pa_off)
+
+    def activate(self, pa_row: int) -> None:
+        da = self.translate(pa_row)
+        self.model.on_activate(_ADDR, da, cycle=0)
+        if self.shadow is not None:
+            self.shadow.record_activation(pa_row)
+            self._acts_since_rfm += 1
+            if self._acts_since_rfm >= self.raaimt:
+                self._acts_since_rfm = 0
+                refreshed, copies = self.shadow.run_rfm()
+                for row in refreshed:
+                    self.model.on_row_refresh(_ADDR, row, cycle=0)
+                for src, dst in copies:
+                    self.model.on_row_copy(_ADDR, src, dst, cycle=0)
+
+    def hammer_round(self, aggressors: Tuple[int, int],
+                     acts: int) -> List[int]:
+        """Hammer the pair; returns newly flipped *PA* rows."""
+        before = len(self.model.flips)
+        for i in range(acts):
+            self.activate(aggressors[i % 2])
+        flipped_pas = []
+        for flip in self.model.flips[before:]:
+            pa = self.occupant(flip.da_row)
+            if pa is not None:
+                flipped_pas.append(pa)
+        return flipped_pas
+
+
+@dataclass
+class TemplatingCampaign:
+    """Template with double-sided pairs, then try to exploit.
+
+    ``shadow=False`` models any static-mapping defenseless device;
+    ``shadow=True`` interposes a real SHADOW bank controller.
+    """
+
+    layout: SubarrayLayout = field(
+        default_factory=lambda: SubarrayLayout(subarrays_per_bank=2,
+                                               rows_per_subarray=64))
+    hcnt: int = 64
+    raaimt: int = 16
+    blast_radius: int = 1
+    acts_per_round: int = 256
+    shadow: bool = False
+    seed: int = 1
+
+    def _substrate(self) -> _Substrate:
+        rng = SystemRng(self.seed * 7919) if self.shadow else None
+        return _Substrate(self.layout, self.hcnt, self.raaimt,
+                          self.blast_radius, rng)
+
+    def template_phase(self, substrate: _Substrate,
+                       victims: List[int]) -> List[Template]:
+        templates = []
+        for victim in victims:
+            pair = (victim - 1, victim + 1)
+            flipped = substrate.hammer_round(pair, self.acts_per_round)
+            if victim in flipped:
+                templates.append(Template(pair, victim))
+        return templates
+
+    def exploit_phase(self, substrate: _Substrate,
+                      templates: List[Template]) -> int:
+        """Re-hammer each template; count victims that flip again."""
+        successes = 0
+        for template in templates:
+            flipped = substrate.hammer_round(template.aggressor_pas,
+                                             self.acts_per_round)
+            if template.victim_pa in flipped:
+                successes += 1
+        return successes
+
+    def run(self) -> TemplatingReport:
+        substrate = self._substrate()
+        sub = 0
+        lo = self.layout.pa_row(sub, 2)
+        hi = self.layout.pa_row(sub, self.layout.rows_per_subarray - 3)
+        victims = list(range(lo, hi, 4))
+        templates = self.template_phase(substrate, victims)
+        # The data the attacker cares about gets massaged in *after*
+        # templating; the disturbance state resets (fresh refresh
+        # window), but SHADOW's accumulated remapping persists.
+        substrate.model.reset()
+        successes = self.exploit_phase(substrate, templates)
+        rounds = len(victims) + len(templates)
+        return TemplatingReport(
+            templates_found=len(templates),
+            exploit_attempts=len(templates),
+            exploit_successes=successes,
+            hammer_rounds=rounds,
+        )

@@ -1,0 +1,28 @@
+"""Full-system simulation harness.
+
+Glues cores (:mod:`repro.sim.core_model`) to the memory controller,
+DRAM device, mitigation and fault model (:mod:`repro.sim.system`);
+computes the paper's metrics (:mod:`repro.sim.metrics`); and provides
+the experiment runner with alone-run caching for weighted speedup
+(:mod:`repro.sim.runner`).
+"""
+
+from repro.sim.core_model import ThreadState
+from repro.sim.metrics import (
+    normalized_performance,
+    throughput,
+    weighted_speedup,
+)
+from repro.sim.runner import ExperimentRunner, RunResult
+from repro.sim.system import System, SystemConfig
+
+__all__ = [
+    "ExperimentRunner",
+    "RunResult",
+    "System",
+    "SystemConfig",
+    "ThreadState",
+    "normalized_performance",
+    "throughput",
+    "weighted_speedup",
+]

@@ -1,0 +1,105 @@
+"""A simple out-of-order core front end.
+
+Each hardware thread replays its trace with bounded memory-level
+parallelism: up to ``mlp`` loads outstanding; stores are posted (they
+occupy DRAM but never stall the thread).  Request ``i`` becomes ready
+``gap_i`` after request ``i-1`` was *issued*, modelling the compute
+between misses; when the MLP window is full the thread stalls until a
+load returns.
+
+This is the McSimA+-style application-level abstraction: detailed
+enough that memory latency and bandwidth changes move end-to-end
+runtime the way they do on real cores, cheap enough to simulate many
+threads.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from repro.controller.address import MemoryLocation
+from repro.controller.request import MemoryRequest
+
+
+class ThreadState:
+    """Execution state of one hardware thread."""
+
+    def __init__(self, thread_id: int,
+                 trace: Iterator[Tuple[float, MemoryLocation, bool]],
+                 request_budget: int, tck_ns: float, mlp: int = 8):
+        if request_budget <= 0:
+            raise ValueError("request_budget must be positive")
+        if mlp <= 0:
+            raise ValueError("mlp must be positive")
+        self.thread_id = thread_id
+        self._trace = trace
+        self.budget = request_budget
+        self.issued = 0
+        self.completed_reads = 0
+        self._tck_ns = tck_ns
+        self.mlp = mlp
+        self.outstanding = 0
+        self.next_ready: int = 0        # cycle the next request may issue
+        self.finish_cycle: Optional[int] = None
+        self._pending: Optional[Tuple[int, MemoryLocation, bool]] = None
+        self._load_next(0)
+
+    # -- trace plumbing -----------------------------------------------------------
+
+    def _load_next(self, after_cycle: int) -> None:
+        if self.issued >= self.budget:
+            self._pending = None
+            return
+        gap_ns, location, is_write = next(self._trace)
+        gap_cycles = max(1, int(gap_ns / self._tck_ns))
+        self._pending = (gap_cycles, location, is_write)
+        self.next_ready = after_cycle + gap_cycles
+
+    # -- scheduling interface ---------------------------------------------------------
+
+    @property
+    def drained(self) -> bool:
+        """All requests issued (completions may still be in flight)."""
+        return self._pending is None
+
+    @property
+    def finished(self) -> bool:
+        return self.drained and self.outstanding == 0
+
+    def can_issue(self, cycle: int) -> bool:
+        if self._pending is None or cycle < self.next_ready:
+            return False
+        _gap, _loc, is_write = self._pending
+        return is_write or self.outstanding < self.mlp
+
+    def stalled_on_mlp(self, cycle: int) -> bool:
+        """Ready to run but blocked by the load window."""
+        if self._pending is None or cycle < self.next_ready:
+            return False
+        return not self._pending[2] and self.outstanding >= self.mlp
+
+    def issue(self, cycle: int) -> MemoryRequest:
+        """Materialize the pending request at ``cycle``."""
+        if not self.can_issue(cycle):
+            raise RuntimeError("thread cannot issue at this cycle")
+        _gap, location, is_write = self._pending
+        request = MemoryRequest(location=location, is_write=is_write,
+                                thread_id=self.thread_id, arrival=cycle)
+        self.issued += 1
+        if not is_write:
+            self.outstanding += 1
+        self._load_next(cycle)
+        if self.drained and self.outstanding == 0:
+            self.finish_cycle = cycle
+        return request
+
+    def on_completion(self, request: MemoryRequest, cycle: int) -> None:
+        """A load of this thread returned."""
+        if request.is_write:
+            return
+        if self.outstanding <= 0:
+            raise RuntimeError("completion without an outstanding load")
+        self.outstanding -= 1
+        self.completed_reads += 1
+        if self.drained and self.outstanding == 0:
+            self.finish_cycle = max(self.finish_cycle or 0, cycle)

@@ -1,0 +1,49 @@
+"""Performance metrics (paper Section VII-C).
+
+Single-/multi-threaded workloads compare by the reciprocal of execution
+time; multi-programmed mixes use the weighted speedup
+``WS = sum_i IPC_shared_i / IPC_alone_i`` [Eyerman & Eeckhout].  With a
+fixed request budget per thread, IPC ratios reduce to time ratios:
+``IPC_shared/IPC_alone = T_alone / T_shared``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def throughput(requests: int, cycles: int) -> float:
+    """Requests retired per cycle (the IPC proxy)."""
+    if cycles <= 0:
+        raise ValueError("cycles must be positive")
+    return requests / cycles
+
+
+def normalized_performance(baseline_cycles: int, cycles: int) -> float:
+    """Reciprocal-execution-time ratio: >1 means faster than baseline."""
+    if baseline_cycles <= 0 or cycles <= 0:
+        raise ValueError("cycle counts must be positive")
+    return baseline_cycles / cycles
+
+
+def weighted_speedup(alone_cycles: Sequence[int],
+                     shared_cycles: Sequence[int]) -> float:
+    """``sum_i T_alone_i / T_shared_i`` for equal per-thread work."""
+    if len(alone_cycles) != len(shared_cycles):
+        raise ValueError("per-thread cycle lists must align")
+    if not alone_cycles:
+        raise ValueError("weighted speedup needs at least one thread")
+    total = 0.0
+    for alone, shared in zip(alone_cycles, shared_cycles):
+        if alone <= 0 or shared <= 0:
+            raise ValueError("cycle counts must be positive")
+        total += alone / shared
+    return total
+
+
+def relative_weighted_speedup(alone: Sequence[int],
+                              shared_scheme: Sequence[int],
+                              shared_baseline: Sequence[int]) -> float:
+    """The figures' y-axis: WS(scheme) / WS(no-mitigation baseline)."""
+    return (weighted_speedup(alone, shared_scheme)
+            / weighted_speedup(alone, shared_baseline))

@@ -1,0 +1,107 @@
+"""Experiment runner with alone-run caching.
+
+Weighted speedup needs each thread's alone execution time under each
+scheme.  Mixes reuse a handful of distinct profiles, and alone times
+depend only on (profile, scheme timing effects), so the runner caches
+them aggressively -- this is what makes the figure sweeps tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.mitigations.base import Mitigation
+from repro.mitigations.none import NoMitigation
+from repro.sim.metrics import weighted_speedup
+from repro.sim.system import System, SystemConfig, SystemResult
+from repro.workloads.trace import WorkloadProfile
+
+#: A factory is needed (not an instance) because mitigations carry
+#: per-run state (remapping tables, trackers) that must not leak
+#: between the shared run and the alone runs.
+MitigationFactory = Callable[[], Mitigation]
+
+
+@dataclass
+class RunResult:
+    """One mix under one scheme, with the weighted-speedup inputs."""
+
+    mitigation_name: str
+    shared: SystemResult
+    alone_cycles: List[int]
+
+    @property
+    def weighted_speedup(self) -> float:
+        return weighted_speedup(self.alone_cycles,
+                                self.shared.thread_finish_cycles)
+
+
+@dataclass
+class ExperimentRunner:
+    """Runs (profiles x scheme) pairs with per-profile alone caching."""
+
+    config: SystemConfig = field(default_factory=SystemConfig)
+    _alone_cache: Dict[Tuple[str, str], int] = field(default_factory=dict)
+
+    def run_shared(self, profiles: List[WorkloadProfile],
+                   make_mitigation: MitigationFactory,
+                   observer=None) -> SystemResult:
+        system = System(profiles, make_mitigation(), observer=observer,
+                        config=self.config)
+        return system.run()
+
+    def run_alone(self, profile: WorkloadProfile,
+                  make_mitigation: MitigationFactory) -> int:
+        """Single-thread finish time, cached by (profile, scheme)."""
+        probe = make_mitigation()
+        key = (profile.name, probe.name)
+        if key not in self._alone_cache:
+            system = System([profile], make_mitigation(),
+                            config=self.config)
+            result = system.run()
+            self._alone_cache[key] = result.thread_finish_cycles[0]
+        return self._alone_cache[key]
+
+    def run(self, profiles: List[WorkloadProfile],
+            make_mitigation: Optional[MitigationFactory] = None,
+            observer=None) -> RunResult:
+        make_mitigation = make_mitigation or NoMitigation
+        shared = self.run_shared(profiles, make_mitigation, observer)
+        alone = [self.run_alone(p, make_mitigation) for p in profiles]
+        return RunResult(
+            mitigation_name=shared.mitigation_name,
+            shared=shared,
+            alone_cycles=alone,
+        )
+
+    def relative_performance(self, profiles: List[WorkloadProfile],
+                             make_scheme: MitigationFactory,
+                             make_baseline: Optional[MitigationFactory] = None
+                             ) -> float:
+        """WS(scheme)/WS(baseline): the y-axis of Figures 8-11.
+
+        Both weighted speedups use the *baseline system's* alone times
+        as the IPC_alone reference (the conventional normalization);
+        using each scheme's own alone times would let a scheme that
+        slows solo execution -- throttling hits a hot thread alone too
+        -- paradoxically raise its ratio above 1.
+        """
+        make_baseline = make_baseline or NoMitigation
+        alone = [self.run_alone(p, make_baseline) for p in profiles]
+        shared_scheme = self.run_shared(profiles, make_scheme)
+        shared_base = self.run_shared(profiles, make_baseline)
+        ws_scheme = weighted_speedup(alone,
+                                     shared_scheme.thread_finish_cycles)
+        ws_base = weighted_speedup(alone, shared_base.thread_finish_cycles)
+        return ws_scheme / ws_base
+
+    def single_thread_relative(self, profile: WorkloadProfile,
+                               make_scheme: MitigationFactory,
+                               make_baseline: Optional[MitigationFactory] = None
+                               ) -> float:
+        """Reciprocal-execution-time ratio for one thread (Fig. 8 left)."""
+        make_baseline = make_baseline or NoMitigation
+        scheme_cycles = self.run_alone(profile, make_scheme)
+        base_cycles = self.run_alone(profile, make_baseline)
+        return base_cycles / scheme_cycles

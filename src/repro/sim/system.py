@@ -1,0 +1,183 @@
+"""The event-driven full-system loop.
+
+Threads inject requests (subject to their gaps and MLP windows); each
+channel of the memory controller drains at its own pace; completions
+wake stalled threads.  Three event kinds drive the heap:
+
+* ``thread`` -- a thread may have become ready to issue;
+* ``channel`` -- a channel should try issuing commands;
+* (completions are processed inline when a channel drains.)
+
+The loop is deterministic: equal-time events process in insertion
+order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.controller.address import AddressMapping
+from repro.controller.mc import McConfig, MemoryController
+from repro.dram.device import DramDevice, DramGeometry
+from repro.dram.timing import DDR4_2666, TimingParams
+from repro.mitigations.base import Mitigation
+from repro.mitigations.none import NoMitigation
+from repro.sim.core_model import ThreadState
+from repro.workloads.trace import TraceGenerator, WorkloadProfile
+
+
+@dataclass
+class SystemConfig:
+    """Everything one simulation run needs."""
+
+    geometry: DramGeometry = field(default_factory=DramGeometry)
+    timing: TimingParams = DDR4_2666
+    requests_per_thread: int = 2000
+    #: Outstanding-load window per thread.  Modern cores sustain 10-20
+    #: in-flight misses; a small window would serialize ACT latency into
+    #: the critical path and overstate tRCD-sensitive overheads.
+    mlp: int = 16
+    seed: int = 1
+    cpu_ghz: float = 3.1
+    enable_refresh: bool = True
+    max_cycles: int = 2_000_000_000
+
+    def __post_init__(self) -> None:
+        if self.requests_per_thread <= 0:
+            raise ValueError("requests_per_thread must be positive")
+
+
+@dataclass
+class SystemResult:
+    """Outcome of one run."""
+
+    cycles: int
+    thread_finish_cycles: List[int]
+    reads_completed: int
+    requests_issued: int
+    stats: "BankStats"
+    refreshes: int
+    rfms: int
+    mitigation_name: str
+
+    @property
+    def finish_ns(self) -> List[float]:
+        return self.thread_finish_cycles
+
+
+class System:
+    """One simulated machine: cores + MC + DRAM + mitigation."""
+
+    def __init__(self, profiles: List[WorkloadProfile],
+                 mitigation: Optional[Mitigation] = None,
+                 observer=None,
+                 config: Optional[SystemConfig] = None):
+        if not profiles:
+            raise ValueError("at least one workload profile is required")
+        self.config = config or SystemConfig()
+        self.mitigation = mitigation or NoMitigation()
+        self.device = DramDevice(self.config.geometry, self.config.timing)
+        self.mapping = AddressMapping(self.config.geometry)
+        self.mc = MemoryController(
+            self.device, self.mitigation, observer=observer,
+            config=McConfig(enable_refresh=self.config.enable_refresh))
+        self.threads = [
+            ThreadState(
+                thread_id=i,
+                trace=TraceGenerator(
+                    profile, self.mapping, thread_id=i,
+                    seed=self.config.seed,
+                    cpu_ghz=self.config.cpu_ghz).requests(),
+                request_budget=self.config.requests_per_thread,
+                tck_ns=self.config.timing.tck_ns,
+                mlp=self.config.mlp)
+            for i, profile in enumerate(profiles)
+        ]
+
+    # -- the event loop --------------------------------------------------------------
+
+    def run(self) -> SystemResult:
+        counter = itertools.count()
+        heap: List = []
+
+        def push(cycle: int, kind: str, payload) -> None:
+            heapq.heappush(heap, (cycle, next(counter), kind, payload))
+
+        for thread in self.threads:
+            push(thread.next_ready, "thread", thread.thread_id)
+
+        last_cycle = 0
+
+        # Earliest scheduled wake per channel; later duplicates are
+        # dropped when popped (each drain re-derives its next wake).
+        armed_wake: Dict[int, Optional[int]] = {
+            ch: None for ch in range(self.config.geometry.channels)}
+
+        def arm_channel(ch: int, at: int) -> None:
+            current = armed_wake[ch]
+            if current is None or at < current:
+                armed_wake[ch] = at
+                push(at, "channel", ch)
+
+        while heap:
+            cycle, _seq, kind, payload = heapq.heappop(heap)
+            if cycle > self.config.max_cycles:
+                raise RuntimeError(
+                    "simulation exceeded max_cycles; the system is likely "
+                    "livelocked (check mitigation blocking times)")
+            last_cycle = max(last_cycle, cycle)
+
+            if kind == "thread":
+                thread = self.threads[payload]
+                touched = set()
+                while thread.can_issue(cycle):
+                    request = thread.issue(cycle)
+                    self.mc.enqueue(request)
+                    touched.add(request.location.channel)
+                for ch in touched:
+                    arm_channel(ch, cycle)
+                if not thread.drained and not thread.stalled_on_mlp(cycle):
+                    push(thread.next_ready, "thread", thread.thread_id)
+                # If stalled on MLP, a completion event reschedules us.
+
+            elif kind == "channel":
+                ch = payload
+                if armed_wake[ch] != cycle:
+                    continue  # stale duplicate; an earlier event ran
+                armed_wake[ch] = None
+                completions, wake = self.mc.drain(ch, cycle)
+                for request, done in completions:
+                    # Data returns at `done`, possibly beyond this drain
+                    # horizon: deliver it as its own event.
+                    push(max(done, cycle), "complete", request)
+                if wake is not None:
+                    arm_channel(ch, max(wake, cycle + 1))
+
+            else:  # complete
+                request = payload
+                thread = self.threads[request.thread_id]
+                thread.on_completion(request, cycle)
+                if not thread.drained and thread.can_issue(cycle):
+                    push(cycle, "thread", thread.thread_id)
+
+            if all(t.finished for t in self.threads) \
+                    and self.mc.pending_requests() == 0:
+                break
+
+        stats = self.device.aggregate_stats()
+        refreshes = sum(t.refs_issued for t in self.mc.refresh.values())
+        rfms = self.mc.raa.rfms_issued if self.mc.raa else 0
+        return SystemResult(
+            cycles=last_cycle,
+            thread_finish_cycles=[t.finish_cycle or last_cycle
+                                  for t in self.threads],
+            reads_completed=sum(t.completed_reads for t in self.threads),
+            requests_issued=sum(t.issued for t in self.threads),
+            stats=stats,
+            refreshes=refreshes,
+            rfms=rfms,
+            mitigation_name=self.mitigation.name,
+        )

@@ -1,0 +1,48 @@
+"""Small bit-manipulation helpers.
+
+These are used by the DRAM address mapping code (:mod:`repro.controller.
+address`) and by the PRINCE cipher's binary linear layer.
+"""
+
+MASK64 = 0xFFFF_FFFF_FFFF_FFFF
+
+
+def popcount(value: int) -> int:
+    """Return the number of set bits in a non-negative integer."""
+    if value < 0:
+        raise ValueError("popcount is defined for non-negative integers")
+    return bin(value).count("1")
+
+
+def parity64(value: int) -> int:
+    """Return the XOR of all 64 low bits of ``value`` (0 or 1)."""
+    value &= MASK64
+    value ^= value >> 32
+    value ^= value >> 16
+    value ^= value >> 8
+    value ^= value >> 4
+    value ^= value >> 2
+    value ^= value >> 1
+    return value & 1
+
+
+def extract_bits(value: int, low: int, width: int) -> int:
+    """Return ``width`` bits of ``value`` starting at bit ``low``.
+
+    >>> extract_bits(0b101100, 2, 3)
+    3
+    """
+    if width < 0 or low < 0:
+        raise ValueError("low and width must be non-negative")
+    return (value >> low) & ((1 << width) - 1)
+
+
+def bit_length_for(count: int) -> int:
+    """Return the number of bits needed to index ``count`` distinct items.
+
+    ``count`` must be positive.  ``bit_length_for(1)`` is 0 (a single item
+    needs no index bits); ``bit_length_for(512)`` is 9.
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    return (count - 1).bit_length()

@@ -1,0 +1,84 @@
+"""Galois linear-feedback shift register.
+
+Paper Section VIII notes that SHADOW can also use an LFSR-based RNG with a
+periodically re-randomized seed, as recent DDR5 chips already carry LFSRs
+for read-training pattern generation.  This module provides a Galois LFSR
+with maximal-period default taps for common widths.
+"""
+
+from __future__ import annotations
+
+#: Maximal-length feedback polynomials (taps as a bitmask, LSB = x^1 term)
+#: for a Galois LFSR of the given width.  The mask includes the output tap.
+DEFAULT_TAPS = {
+    8: 0xB8,
+    16: 0xB400,
+    24: 0xE10000,
+    32: 0xA3000000,
+    48: 0xC00000401000,
+    64: 0xD800000000000000,
+}
+
+
+class GaloisLFSR:
+    """A Galois LFSR producing one bit per :meth:`step`.
+
+    Parameters
+    ----------
+    width:
+        Register width in bits.
+    seed:
+        Initial non-zero state (an all-zero LFSR is stuck).
+    taps:
+        Optional feedback mask; defaults to a maximal-length polynomial for
+        the requested width.
+    """
+
+    def __init__(self, width: int = 64, seed: int = 1, taps: int | None = None):
+        if width <= 0:
+            raise ValueError("width must be positive")
+        if taps is None:
+            if width not in DEFAULT_TAPS:
+                raise ValueError(
+                    f"no default taps for width {width}; "
+                    f"choose one of {sorted(DEFAULT_TAPS)} or pass taps"
+                )
+            taps = DEFAULT_TAPS[width]
+        mask = (1 << width) - 1
+        seed &= mask
+        if seed == 0:
+            raise ValueError("seed must be non-zero")
+        self._width = width
+        self._mask = mask
+        self._taps = taps & mask
+        self._state = seed
+
+    @property
+    def width(self) -> int:
+        return self._width
+
+    @property
+    def state(self) -> int:
+        return self._state
+
+    def reseed(self, seed: int) -> None:
+        """Replace the register state (paper: periodic seed randomization)."""
+        seed &= self._mask
+        if seed == 0:
+            raise ValueError("seed must be non-zero")
+        self._state = seed
+
+    def step(self) -> int:
+        """Advance one cycle and return the output bit."""
+        out = self._state & 1
+        self._state >>= 1
+        if out:
+            self._state ^= self._taps
+        return out
+
+    def next_bits(self, count: int) -> int:
+        """Return ``count`` output bits packed MSB-first."""
+        value = 0
+        for _ in range(count):
+            value = (value << 1) | self.step()
+        return value

@@ -1,0 +1,223 @@
+"""PRINCE block cipher (Borghoff et al., ASIACRYPT 2012).
+
+SHADOW's per-chip RNG unit is a cryptographically secure PRNG built on the
+PRINCE low-latency block cipher (paper Section V-C and VIII).  PRINCE is a
+64-bit block cipher with a 128-bit key, designed for unrolled low-latency
+hardware -- exactly the constraint a DRAM die imposes.
+
+This is a complete, from-scratch implementation:
+
+* 128-bit key schedule ``k = k0 || k1`` with the whitening key
+  ``k0' = (k0 >>> 1) ^ (k0 >> 63)``;
+* the FX whitening construction around ``PRINCE_core`` keyed by ``k1``;
+* the 12-round alpha-reflective core with the published S-box, round
+  constants, involutive ``M'`` linear layer, and AES-like nibble ShiftRows.
+
+The implementation is validated against the five published test vectors in
+``tests/test_prince.py``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+MASK64 = 0xFFFF_FFFF_FFFF_FFFF
+
+#: The PRINCE 4-bit S-box (Table 3 of the paper).
+SBOX = (0xB, 0xF, 0x3, 0x2, 0xA, 0xC, 0x9, 0x1,
+        0x6, 0x7, 0x8, 0x0, 0xE, 0x5, 0xD, 0x4)
+SBOX_INV = tuple(SBOX.index(i) for i in range(16))
+
+#: Round constants RC0 .. RC11.  RC_i ^ RC_{11-i} == ALPHA for all i.
+ROUND_CONSTANTS = (
+    0x0000000000000000,
+    0x13198A2E03707344,
+    0xA4093822299F31D0,
+    0x082EFA98EC4E6C89,
+    0x452821E638D01377,
+    0xBE5466CF34E90C6C,
+    0x7EF84F78FD955CB1,
+    0x85840851F1AC43AA,
+    0xC882D32F25323C54,
+    0x64A51195E0E3610D,
+    0xD3B5A399CA0C2399,
+    0xC0AC29B7C97C50DD,
+)
+
+ALPHA = 0xC0AC29B7C97C50DD
+
+#: ShiftRows nibble permutation: output nibble ``i`` (0 = most significant)
+#: takes input nibble ``SR[i]``.
+SHIFT_ROWS = (0, 5, 10, 15, 4, 9, 14, 3, 8, 13, 2, 7, 12, 1, 6, 11)
+SHIFT_ROWS_INV = tuple(SHIFT_ROWS.index(i) for i in range(16))
+
+
+def _build_m_prime_masks() -> List[int]:
+    """Build the involutive M' layer as 64 per-output-bit input masks.
+
+    M' is block-diagonal ``diag(M^0, M^1, M^1, M^0)`` where each 16x16
+    block is assembled from the four 4x4 matrices ``m0..m3`` (identity with
+    one diagonal element removed) arranged in a circulant pattern.
+
+    Bit convention: bit 63 of the integer state is row 0 of the matrix
+    (most-significant-first), matching the published test vectors.
+    """
+    def m_row(k: int) -> List[int]:
+        # m_k is the 4x4 identity with the k-th diagonal entry zeroed.
+        rows = []
+        for r in range(4):
+            rows.append([1 if (r == c and r != k) else 0 for c in range(4)])
+        return rows
+
+    m = [m_row(k) for k in range(4)]
+
+    def mhat(order: List[List[int]]) -> List[List[int]]:
+        # Assemble a 16x16 block from a 4x4 arrangement of m-indices.
+        block = [[0] * 16 for _ in range(16)]
+        for br in range(4):
+            for bc in range(4):
+                sub = m[order[br][bc]]
+                for r in range(4):
+                    for c in range(4):
+                        block[4 * br + r][4 * bc + c] = sub[r][c]
+        return block
+
+    mhat0 = mhat([[0, 1, 2, 3], [1, 2, 3, 0], [2, 3, 0, 1], [3, 0, 1, 2]])
+    mhat1 = mhat([[1, 2, 3, 0], [2, 3, 0, 1], [3, 0, 1, 2], [0, 1, 2, 3]])
+
+    blocks = [mhat0, mhat1, mhat1, mhat0]
+    masks = []
+    for b, block in enumerate(blocks):
+        for r in range(16):
+            mask = 0
+            for c in range(16):
+                if block[r][c]:
+                    # Column c of block b corresponds to state bit
+                    # 63 - (16*b + c).
+                    mask |= 1 << (63 - (16 * b + c))
+            masks.append(mask)
+    # masks[i] is the input mask for output bit 63 - i.
+    return masks
+
+
+_M_PRIME_MASKS = _build_m_prime_masks()
+
+
+def m_prime_layer(state: int) -> int:
+    """Apply the involutive M' binary matrix to a 64-bit state."""
+    out = 0
+    for i, mask in enumerate(_M_PRIME_MASKS):
+        v = state & mask
+        # Parity of v.
+        v ^= v >> 32
+        v ^= v >> 16
+        v ^= v >> 8
+        v ^= v >> 4
+        v ^= v >> 2
+        v ^= v >> 1
+        out |= (v & 1) << (63 - i)
+    return out
+
+
+def _nibbles(state: int) -> List[int]:
+    """Split a 64-bit state into 16 nibbles, most significant first."""
+    return [(state >> (60 - 4 * i)) & 0xF for i in range(16)]
+
+
+def _from_nibbles(nibbles: List[int]) -> int:
+    state = 0
+    for n in nibbles:
+        state = (state << 4) | (n & 0xF)
+    return state
+
+
+def sbox_layer(state: int, inverse: bool = False) -> int:
+    """Apply the PRINCE S-box (or its inverse) to all 16 nibbles."""
+    table = SBOX_INV if inverse else SBOX
+    return _from_nibbles([table[n] for n in _nibbles(state)])
+
+
+def shift_rows(state: int, inverse: bool = False) -> int:
+    """Apply the AES-like nibble ShiftRows permutation (or inverse)."""
+    perm = SHIFT_ROWS_INV if inverse else SHIFT_ROWS
+    nibbles = _nibbles(state)
+    return _from_nibbles([nibbles[perm[i]] for i in range(16)])
+
+
+class PrinceCipher:
+    """The PRINCE cipher with a fixed 128-bit key.
+
+    Parameters
+    ----------
+    key:
+        A 128-bit integer ``k0 || k1`` (``k0`` in the high 64 bits).
+
+    Examples
+    --------
+    >>> c = PrinceCipher(0)
+    >>> hex(c.encrypt(0))
+    '0x818665aa0d02dfda'
+    """
+
+    def __init__(self, key: int):
+        if not 0 <= key < (1 << 128):
+            raise ValueError("PRINCE key must be a 128-bit integer")
+        self._k0 = (key >> 64) & MASK64
+        self._k1 = key & MASK64
+        # k0' = (k0 >>> 1) XOR (k0 >> 63)
+        rotated = ((self._k0 >> 1) | ((self._k0 & 1) << 63)) & MASK64
+        self._k0_prime = rotated ^ (self._k0 >> 63)
+
+    @property
+    def key(self) -> int:
+        return (self._k0 << 64) | self._k1
+
+    def _round_forward(self, state: int, index: int) -> int:
+        state = sbox_layer(state)
+        state = m_prime_layer(state)
+        state = shift_rows(state)
+        state ^= ROUND_CONSTANTS[index]
+        state ^= self._k1
+        return state
+
+    def _round_backward(self, state: int, index: int) -> int:
+        state ^= self._k1
+        state ^= ROUND_CONSTANTS[index]
+        state = shift_rows(state, inverse=True)
+        state = m_prime_layer(state)
+        state = sbox_layer(state, inverse=True)
+        return state
+
+    def _core(self, state: int) -> int:
+        state ^= self._k1
+        state ^= ROUND_CONSTANTS[0]
+        for i in range(1, 6):
+            state = self._round_forward(state, i)
+        # Middle involution: S, M', S^-1.
+        state = sbox_layer(state)
+        state = m_prime_layer(state)
+        state = sbox_layer(state, inverse=True)
+        for i in range(6, 11):
+            state = self._round_backward(state, i)
+        state ^= ROUND_CONSTANTS[11]
+        state ^= self._k1
+        return state
+
+    def encrypt(self, plaintext: int) -> int:
+        """Encrypt a 64-bit block."""
+        if not 0 <= plaintext <= MASK64:
+            raise ValueError("plaintext must be a 64-bit integer")
+        state = plaintext ^ self._k0
+        state = self._core(state)
+        return state ^ self._k0_prime
+
+    def decrypt(self, ciphertext: int) -> int:
+        """Decrypt a 64-bit block (alpha-reflection property)."""
+        if not 0 <= ciphertext <= MASK64:
+            raise ValueError("ciphertext must be a 64-bit integer")
+        # Decryption is encryption with (k0', k0, k1 ^ alpha).
+        inverse = PrinceCipher.__new__(PrinceCipher)
+        inverse._k0 = self._k0_prime
+        inverse._k0_prime = self._k0
+        inverse._k1 = self._k1 ^ ALPHA
+        return inverse.encrypt(ciphertext)

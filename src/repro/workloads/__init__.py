@@ -1,0 +1,55 @@
+"""Workload generators standing in for the paper's benchmark suites.
+
+The paper evaluates on SPEC CPU2017, GAPBS (Kronecker 2^26), NPB
+class C, and a random-stream adversarial microbenchmark, grouped by
+memory intensity (spec-high / spec-med / spec-low, Section VII-C).
+Real binaries and traces are unavailable here, so each named
+application gets a :class:`~repro.workloads.trace.WorkloadProfile`
+capturing exactly the properties that drive every mitigation's
+overhead: ACT rate (from MPKI), row-buffer locality, write share, and
+footprint.  Mixes reproduce the paper's mix-high / mix-blend /
+mix-random constructions by name.
+"""
+
+from repro.workloads.gapbs import GAPBS_PROFILES
+from repro.workloads.mixes import mix_blend, mix_high, mix_random
+from repro.workloads.npb import NPB_PROFILES
+from repro.workloads.spec import (
+    SPEC_HIGH,
+    SPEC_LOW,
+    SPEC_MED,
+    SPEC_PROFILES,
+    spec_group,
+)
+from repro.workloads.synthetic import (
+    pointer_chase_profile,
+    random_stream_profile,
+    stream_profile,
+)
+from repro.workloads.trace import TraceGenerator, WorkloadProfile
+from repro.workloads.tracefile import (
+    FileTrace,
+    dump_trace_file,
+    load_trace_file,
+)
+
+__all__ = [
+    "FileTrace",
+    "GAPBS_PROFILES",
+    "NPB_PROFILES",
+    "SPEC_HIGH",
+    "SPEC_LOW",
+    "SPEC_MED",
+    "SPEC_PROFILES",
+    "TraceGenerator",
+    "WorkloadProfile",
+    "dump_trace_file",
+    "load_trace_file",
+    "mix_blend",
+    "mix_high",
+    "mix_random",
+    "pointer_chase_profile",
+    "random_stream_profile",
+    "spec_group",
+    "stream_profile",
+]

@@ -1,0 +1,27 @@
+"""GAP Benchmark Suite profiles (Kronecker graph, 2^26 vertices).
+
+Graph traversals are the paper's memory-intensive multi-threaded
+workloads: huge footprints, poor row-buffer locality (pointer-chasing
+over adjacency lists), read-dominated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.workloads.trace import WorkloadProfile
+
+GAPBS_PROFILES: Dict[str, WorkloadProfile] = {
+    "bfs": WorkloadProfile("bfs", mpki=24.0, row_buffer_locality=0.20,
+                           write_fraction=0.15, footprint_pages=32768, zipf_alpha=1.1),
+    "pr": WorkloadProfile("pr", mpki=30.0, row_buffer_locality=0.35,
+                          write_fraction=0.20, footprint_pages=32768, zipf_alpha=1.1),
+    "cc": WorkloadProfile("cc", mpki=26.0, row_buffer_locality=0.25,
+                          write_fraction=0.20, footprint_pages=32768, zipf_alpha=1.1),
+    "bc": WorkloadProfile("bc", mpki=22.0, row_buffer_locality=0.25,
+                          write_fraction=0.15, footprint_pages=32768, zipf_alpha=1.1),
+    "sssp": WorkloadProfile("sssp", mpki=28.0, row_buffer_locality=0.20,
+                            write_fraction=0.20, footprint_pages=32768, zipf_alpha=1.1),
+    "tc": WorkloadProfile("tc", mpki=16.0, row_buffer_locality=0.40,
+                          write_fraction=0.05, footprint_pages=32768, zipf_alpha=1.1),
+}

@@ -1,0 +1,44 @@
+"""The paper's multi-programmed workload mixes (Section VII-C).
+
+* **mix-high**: 14 spec-high applications (the five high-intensity apps
+  replicated round-robin to 14 hardware threads).
+* **mix-blend**: 14 applications drawn uniformly from spec-high,
+  spec-med and spec-low.
+* **mix-random**: N applications chosen at random from all of SPEC
+  CPU2017 (the paper builds 32 of these at 16 threads for Figure 11).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.utils.rng import SystemRng
+from repro.workloads.spec import SPEC_HIGH, SPEC_LOW, SPEC_MED, SPEC_PROFILES
+from repro.workloads.trace import WorkloadProfile
+
+
+def mix_high(threads: int = 14) -> List[WorkloadProfile]:
+    """14 spec-high applications (paper's mix-high)."""
+    if threads <= 0:
+        raise ValueError("threads must be positive")
+    return [SPEC_PROFILES[SPEC_HIGH[i % len(SPEC_HIGH)]]
+            for i in range(threads)]
+
+
+def mix_blend(threads: int = 14) -> List[WorkloadProfile]:
+    """Uniform blend over the three intensity groups (paper's mix-blend)."""
+    if threads <= 0:
+        raise ValueError("threads must be positive")
+    rotation = SPEC_HIGH + SPEC_MED + SPEC_LOW
+    return [SPEC_PROFILES[rotation[i % len(rotation)]]
+            for i in range(threads)]
+
+
+def mix_random(seed: int, threads: int = 16) -> List[WorkloadProfile]:
+    """Random selection over all SPEC CPU2017 apps (paper's mix-random)."""
+    if threads <= 0:
+        raise ValueError("threads must be positive")
+    rng = SystemRng(seed)
+    names = sorted(SPEC_PROFILES)
+    return [SPEC_PROFILES[names[rng.randrange(len(names))]]
+            for _ in range(threads)]

@@ -1,0 +1,32 @@
+"""NAS Parallel Benchmarks (class C) profiles.
+
+Stencil and spectral kernels: streaming access with strong spatial
+locality, moderate-to-high intensity, significant write shares.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.workloads.trace import WorkloadProfile
+
+NPB_PROFILES: Dict[str, WorkloadProfile] = {
+    "bt": WorkloadProfile("bt", mpki=12.0, row_buffer_locality=0.75,
+                          write_fraction=0.40, footprint_pages=16384,
+                          sequential=True),
+    "cg": WorkloadProfile("cg", mpki=20.0, row_buffer_locality=0.35,
+                          write_fraction=0.20, footprint_pages=16384,
+                          zipf_alpha=0.7),
+    "ft": WorkloadProfile("ft", mpki=15.0, row_buffer_locality=0.60,
+                          write_fraction=0.35, footprint_pages=16384,
+                          sequential=True),
+    "lu": WorkloadProfile("lu", mpki=10.0, row_buffer_locality=0.70,
+                          write_fraction=0.40, footprint_pages=16384,
+                          sequential=True),
+    "mg": WorkloadProfile("mg", mpki=18.0, row_buffer_locality=0.65,
+                          write_fraction=0.35, footprint_pages=16384,
+                          sequential=True),
+    "sp": WorkloadProfile("sp", mpki=14.0, row_buffer_locality=0.70,
+                          write_fraction=0.40, footprint_pages=16384,
+                          sequential=True),
+}

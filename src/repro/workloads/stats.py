@@ -1,0 +1,127 @@
+"""Trace statistics: the quantities that predict mitigation overhead.
+
+Given any request stream (synthetic generator or imported file), this
+computes the properties the whole evaluation keys on: request and ACT
+rates, row-buffer hit potential, footprint, per-row ACT concentration
+(what triggers RRS/BlockHammer/Graphene), and the implied RFM rate for
+a given RAAIMT.  Useful for calibrating a :class:`WorkloadProfile`
+against a real trace before simulating it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.controller.address import MemoryLocation
+
+TraceEntry = Tuple[float, MemoryLocation, bool]
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary statistics of one request stream."""
+
+    requests: int
+    writes: int
+    duration_ns: float
+    distinct_rows: int
+    distinct_banks: int
+    row_transitions: int     # bank-local row changes (ACT lower bound)
+    top_row_touches: List[Tuple[int, int]]   # [(touches, ...rank)] desc
+
+    @property
+    def write_fraction(self) -> float:
+        return self.writes / self.requests if self.requests else 0.0
+
+    @property
+    def request_rate_per_us(self) -> float:
+        if self.duration_ns <= 0:
+            return 0.0
+        return self.requests / (self.duration_ns / 1000.0)
+
+    @property
+    def row_hit_potential(self) -> float:
+        """Upper bound on the row-buffer hit rate an open-page policy
+        could achieve (1 - transitions/requests)."""
+        if self.requests == 0:
+            return 0.0
+        return 1.0 - self.row_transitions / self.requests
+
+    @property
+    def act_rate_per_us(self) -> float:
+        """Lower-bound activation rate implied by the row transitions."""
+        if self.duration_ns <= 0:
+            return 0.0
+        return self.row_transitions / (self.duration_ns / 1000.0)
+
+    def hottest_row_acts(self) -> int:
+        """ACT-equivalent touches of the single hottest row."""
+        return self.top_row_touches[0][0] if self.top_row_touches else 0
+
+    def rfm_rate_per_ms(self, raaimt: int) -> float:
+        """RFM commands per millisecond this trace would trigger."""
+        if raaimt <= 0:
+            raise ValueError("raaimt must be positive")
+        if self.duration_ns <= 0:
+            return 0.0
+        return (self.row_transitions / raaimt) / (self.duration_ns / 1e6)
+
+    def would_trigger(self, threshold: int) -> bool:
+        """Would a per-row count threshold (RRS swap, BlockHammer
+        blacklist) fire on this trace's hottest row?"""
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        return self.hottest_row_acts() >= threshold
+
+
+def analyze(entries: Iterable[TraceEntry], top: int = 8) -> TraceStats:
+    """Compute :class:`TraceStats` over a finite request stream."""
+    if top <= 0:
+        raise ValueError("top must be positive")
+    requests = 0
+    writes = 0
+    duration_ns = 0.0
+    open_rows: Dict[Tuple[int, int, int], int] = {}
+    transitions = 0
+    row_touches: Counter = Counter()
+    banks = set()
+    for gap_ns, loc, is_write in entries:
+        requests += 1
+        writes += int(is_write)
+        duration_ns += gap_ns
+        bank_key = (loc.channel, loc.rank, loc.bank)
+        banks.add(bank_key)
+        row_key = bank_key + (loc.row,)
+        if open_rows.get(bank_key) != loc.row:
+            transitions += 1
+            open_rows[bank_key] = loc.row
+            row_touches[row_key] += 1
+    return TraceStats(
+        requests=requests,
+        writes=writes,
+        duration_ns=duration_ns,
+        distinct_rows=len(row_touches),
+        distinct_banks=len(banks),
+        row_transitions=transitions,
+        top_row_touches=[(count, key)
+                         for key, count in row_touches.most_common(top)],
+    )
+
+
+def summarize(stats: TraceStats) -> str:
+    """Human-readable one-screen summary."""
+    lines = [
+        f"requests            : {stats.requests}",
+        f"writes              : {stats.writes} "
+        f"({stats.write_fraction:.0%})",
+        f"duration            : {stats.duration_ns / 1000:.1f} us",
+        f"request rate        : {stats.request_rate_per_us:.2f} /us",
+        f"ACT rate (lower bd) : {stats.act_rate_per_us:.2f} /us",
+        f"row-hit potential   : {stats.row_hit_potential:.0%}",
+        f"distinct rows/banks : {stats.distinct_rows} / "
+        f"{stats.distinct_banks}",
+        f"hottest-row ACTs    : {stats.hottest_row_acts()}",
+    ]
+    return "\n".join(lines)

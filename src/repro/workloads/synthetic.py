@@ -1,0 +1,33 @@
+"""Synthetic microbenchmarks.
+
+``random_stream_profile`` is the paper's worst-case adversarial
+workload (Section VII-C): back-to-back activations with no row-buffer
+locality, maximally sensitive to tRCD changes and maximally RFM-
+triggering.  ``stream``/``pointer_chase`` are classic calibration
+points.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.trace import WorkloadProfile
+
+
+def random_stream_profile(mpki: float = 150.0) -> WorkloadProfile:
+    """Every access misses the row buffer; near-zero compute gaps."""
+    return WorkloadProfile(
+        name="random-stream", mpki=mpki, row_buffer_locality=0.0,
+        write_fraction=0.0, footprint_pages=65536)
+
+
+def stream_profile(mpki: float = 40.0) -> WorkloadProfile:
+    """Pure sequential streaming: the row-hit-friendly extreme."""
+    return WorkloadProfile(
+        name="stream", mpki=mpki, row_buffer_locality=0.9,
+        write_fraction=0.33, footprint_pages=16384, sequential=True)
+
+
+def pointer_chase_profile(mpki: float = 30.0) -> WorkloadProfile:
+    """Dependent random loads: no locality, read-only."""
+    return WorkloadProfile(
+        name="pointer-chase", mpki=mpki, row_buffer_locality=0.0,
+        write_fraction=0.0, footprint_pages=32768)

@@ -1,0 +1,176 @@
+"""Profile-driven memory trace generation.
+
+A :class:`WorkloadProfile` captures the memory behaviour of one
+application; a :class:`TraceGenerator` turns it into an endless,
+deterministic stream of ``(gap_cycles, location, is_write)`` tuples for
+one hardware thread.
+
+The generator works in *pages*: a page is the contiguous physical-address
+block that maps onto a single (row, bank, rank) across every channel and
+column, so streaming within a page produces row-buffer hits and hopping
+between pages produces row misses.  Run lengths within a page follow a
+geometric distribution whose mean encodes the profile's row-buffer
+locality; inter-request gaps derive from MPKI and the CPU-to-DRAM clock
+ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.controller.address import AddressMapping, MemoryLocation
+from repro.utils.rng import SystemRng
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Memory behaviour of one application."""
+
+    name: str
+    mpki: float                  # last-level-cache misses / kilo-instruction
+    row_buffer_locality: float   # P(next access stays in the open row)
+    write_fraction: float = 0.25
+    footprint_pages: int = 4096  # distinct pages the thread cycles over
+    sequential: bool = False     # stream pages in order (NPB-style)
+    #: Zipf exponent of page popularity (0 = uniform).  Pointer-chasing
+    #: workloads concentrate their misses on hot rows even after caches;
+    #: this is the property that makes per-row trackers (RRS,
+    #: BlockHammer, Graphene) fire on *normal* applications.
+    zipf_alpha: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mpki <= 0:
+            raise ValueError("mpki must be positive")
+        if not 0.0 <= self.row_buffer_locality < 1.0:
+            raise ValueError("row_buffer_locality must be in [0, 1)")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in [0, 1]")
+        if self.footprint_pages <= 0:
+            raise ValueError("footprint_pages must be positive")
+        if self.zipf_alpha < 0:
+            raise ValueError("zipf_alpha must be non-negative")
+
+    @property
+    def mean_run_length(self) -> float:
+        """Expected consecutive accesses to one page."""
+        return 1.0 / (1.0 - self.row_buffer_locality)
+
+    def intensity_class(self) -> str:
+        """The paper's grouping: high / med / low memory intensity."""
+        if self.mpki >= 15:
+            return "high"
+        if self.mpki >= 4:
+            return "med"
+        return "low"
+
+
+class TraceGenerator:
+    """Deterministic per-thread request stream."""
+
+    def __init__(self, profile: WorkloadProfile, mapping: AddressMapping,
+                 thread_id: int, seed: int = 1, cpu_ghz: float = 3.1,
+                 instructions_per_cycle: float = 2.0):
+        self.profile = profile
+        self.mapping = mapping
+        self.thread_id = thread_id
+        self.seed = seed
+        geometry = mapping.geometry
+        # Gaps are kept in *nanoseconds* internally (the system converts
+        # to DRAM cycles), so one trace serves any speed grade.
+        self._gap_ns_per_instr = 1.0 / (cpu_ghz * instructions_per_cycle)
+        # Page space: every (row, bank, rank) combination, partitioned
+        # round-robin between threads so footprints do not overlap.
+        self._pages_total = (geometry.rows_per_bank
+                             * geometry.banks_per_rank
+                             * geometry.ranks_per_channel)
+        self._columns = geometry.columns_per_row
+        self._channels = geometry.channels
+
+    # -- page <-> location arithmetic -----------------------------------------------
+
+    #: Pages per bank cluster: consecutive page indices share a bank (in
+    #: adjacent rows) in groups of this size, the way contiguous hot
+    #: allocations co-locate in a bank region.  Without clustering, a
+    #: popularity skew spreads its head pages over distinct banks where
+    #: each stays open in its row buffer and *never re-activates*; with
+    #: it, hot pages conflict and produce the per-row ACT pressure that
+    #: row-tracking defenses (RRS, BlockHammer, Graphene) respond to.
+    PAGES_PER_CLUSTER = 8
+
+    def _page_location(self, page: int, line: int) -> MemoryLocation:
+        """The ``line``-th cache line of ``page`` (one channel pass)."""
+        geometry = self.mapping.geometry
+        channel = line % self._channels
+        column = (line // self._channels) % self._columns
+        cluster, sub = divmod(page, self.PAGES_PER_CLUSTER)
+        bank = cluster % geometry.banks_per_rank
+        rank = (cluster // geometry.banks_per_rank) \
+            % geometry.ranks_per_channel
+        row_base = cluster // (geometry.banks_per_rank
+                               * geometry.ranks_per_channel)
+        row = row_base * self.PAGES_PER_CLUSTER + sub
+        return MemoryLocation(channel, rank, bank,
+                              row % geometry.rows_per_bank, column)
+
+    def _thread_page(self, index: int) -> int:
+        """Map a footprint index to a global page, thread-offset so the
+        threads of a mix touch (mostly) disjoint memory."""
+        base = (self.thread_id * 7919) % self._pages_total
+        return (base + index) % self._pages_total
+
+    # -- Zipfian page popularity ------------------------------------------------------
+
+    def _zipf_cdf(self):
+        """Cumulative popularity over footprint pages (None if uniform)."""
+        profile = self.profile
+        if profile.zipf_alpha <= 0 or profile.sequential:
+            return None
+        ranks = np.arange(1, profile.footprint_pages + 1, dtype=float)
+        weights = ranks ** -profile.zipf_alpha
+        cdf = np.cumsum(weights)
+        cdf /= cdf[-1]
+        return cdf
+
+    @staticmethod
+    def _zipf_pick(cdf, rng) -> int:
+        u = rng.next_bits(24) / float(1 << 24)
+        return int(np.searchsorted(cdf, u, side="right"))
+
+    # -- the stream -------------------------------------------------------------------
+
+    def requests(self) -> Iterator[Tuple[float, MemoryLocation, bool]]:
+        """Yield ``(gap_ns, location, is_write)`` forever."""
+        profile = self.profile
+        rng = SystemRng(self.seed * 1_000_003 + self.thread_id)
+        instr_per_miss = 1000.0 / profile.mpki
+        zipf_cdf = self._zipf_cdf()
+        page_index = 0
+        line = 0
+        lines_left = 0
+        while True:
+            if lines_left <= 0:
+                # Pick the next page and a geometric run length.
+                if profile.sequential:
+                    page_index = (page_index + 1) % profile.footprint_pages
+                elif zipf_cdf is not None:
+                    page_index = self._zipf_pick(zipf_cdf, rng)
+                else:
+                    page_index = rng.randrange(profile.footprint_pages)
+                line = 0
+                # Geometric with mean 1/(1-locality), via inverse CDF.
+                lines_left = 1
+                while (rng.next_bits(16) / 65536.0
+                       < profile.row_buffer_locality):
+                    lines_left += 1
+            page = self._thread_page(page_index)
+            location = self._page_location(page, line)
+            line += 1
+            lines_left -= 1
+            is_write = (rng.next_bits(16) / 65536.0) < profile.write_fraction
+            # Gap: instructions to the next miss, +/-50% jitter.
+            jitter = 0.5 + rng.next_bits(16) / 65536.0
+            gap_ns = instr_per_miss * self._gap_ns_per_instr * jitter
+            yield gap_ns, location, is_write

@@ -1,0 +1,103 @@
+"""Monte Carlo adversarial simulation against the real SHADOW mechanism.
+
+Uses scaled-down subarrays and thresholds so empirical flip rates are
+measurable; the assertions check directional agreement with the
+Appendix XI analysis (SHADOW protects; disabling its pieces weakens it).
+"""
+
+import pytest
+
+from repro.analysis.montecarlo import flip_rate, simulate_attack
+from repro.dram.subarray import SubarrayLayout
+from repro.rowhammer.adversary import (
+    ScenarioIAttacker,
+    ScenarioIIAttacker,
+)
+from repro.utils.rng import SystemRng
+
+LAYOUT = SubarrayLayout(subarrays_per_bank=2, rows_per_subarray=32)
+
+
+class _FixedRowAttacker:
+    """Hammers one fixed PA row forever (no adaptation)."""
+
+    def __init__(self, row):
+        self.row = row
+
+    def interval_rows(self, interval, acts):
+        return [self.row] * acts
+
+
+class TestSimulateAttack:
+    def test_no_shuffle_fixed_row_flips_quickly(self):
+        result = simulate_attack(
+            _FixedRowAttacker(10), LAYOUT, hcnt=64, raaimt=16,
+            intervals=50, shuffle=False, incremental_refresh=False)
+        assert result.flipped
+        assert result.first_flip_interval is not None
+
+    def test_shadow_stops_fixed_row_attacker(self):
+        """A non-adaptive single-row attacker is SHADOW's best case:
+        the aggressor is in the history every interval, so it is
+        shuffled every RFM and never accumulates H_cnt.
+
+        Parameters are chosen so the Appendix XI scenario-I bound is
+        tiny at this scale (M1 = hcnt/raaimt = 16 hits needed within a
+        33-interval incremental window at p = 3.5/32)."""
+        result = simulate_attack(
+            _FixedRowAttacker(10), LAYOUT, hcnt=64, raaimt=4,
+            intervals=400)
+        assert not result.flipped
+
+    def test_result_fields(self):
+        result = simulate_attack(
+            _FixedRowAttacker(3), LAYOUT, hcnt=1000, raaimt=8,
+            intervals=10)
+        assert result.intervals_run == 10
+        assert result.total_acts == 80
+        assert result.max_disturbance >= 0
+        with pytest.raises(ValueError):
+            simulate_attack(_FixedRowAttacker(3), LAYOUT, hcnt=10,
+                            raaimt=8, intervals=0)
+
+
+class TestDirectionalAgreement:
+    """Flip rates must order the way the security analysis predicts."""
+
+    def test_incremental_refresh_improves_protection(self):
+        def make(seed):
+            return ScenarioIIAttacker(LAYOUT, subarray=0, n_aggr=4,
+                                      rng=SystemRng(seed))
+        with_ir = flip_rate(make, LAYOUT, hcnt=48, raaimt=16,
+                            intervals=120, trials=30, seed=1)
+        without = flip_rate(make, LAYOUT, hcnt=48, raaimt=16,
+                            intervals=120, trials=30, seed=1,
+                            incremental_refresh=False)
+        assert with_ir <= without
+
+    def test_higher_hcnt_is_safer(self):
+        def make(seed):
+            return ScenarioIAttacker(LAYOUT, subarray=0,
+                                     rng=SystemRng(seed))
+        weak = flip_rate(make, LAYOUT, hcnt=24, raaimt=16,
+                         intervals=80, trials=25, seed=2)
+        strong = flip_rate(make, LAYOUT, hcnt=96, raaimt=16,
+                           intervals=80, trials=25, seed=2)
+        assert strong <= weak
+
+    def test_shuffle_is_the_main_defence(self):
+        def make(seed):
+            return ScenarioIIAttacker(LAYOUT, subarray=0, n_aggr=2,
+                                      rng=SystemRng(seed))
+        shuffled = flip_rate(make, LAYOUT, hcnt=160, raaimt=16,
+                             intervals=60, trials=25, seed=3)
+        static = flip_rate(make, LAYOUT, hcnt=160, raaimt=16,
+                           intervals=60, trials=25, seed=3,
+                           shuffle=False, incremental_refresh=False)
+        assert shuffled < static
+        assert static > 0.9   # without any defence the attack lands
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            flip_rate(lambda s: _FixedRowAttacker(1), LAYOUT, hcnt=10,
+                      raaimt=4, intervals=10, trials=0)

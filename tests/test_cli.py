@@ -1,0 +1,75 @@
+"""The shadow-repro CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main, make_scheme
+from repro.core import Shadow
+from repro.mitigations import (
+    BlockHammer,
+    DoubleRefreshRate,
+    NoMitigation,
+    Parfm,
+    RandomizedRowSwap,
+)
+
+
+class TestMakeScheme:
+    @pytest.mark.parametrize("name,cls", [
+        ("none", NoMitigation),
+        ("shadow", Shadow),
+        ("parfm", Parfm),
+        ("blockhammer", BlockHammer),
+        ("rrs", RandomizedRowSwap),
+        ("drr", DoubleRefreshRate),
+    ])
+    def test_known_schemes(self, name, cls):
+        assert isinstance(make_scheme(name, 4096), cls)
+
+    def test_shadow_uses_secure_raaimt(self):
+        assert make_scheme("shadow", 2048).config.raaimt == 32
+
+    def test_unknown_scheme(self):
+        with pytest.raises(SystemExit):
+            make_scheme("magic", 4096)
+
+
+class TestCommands:
+    def test_run_command(self, capsys):
+        rc = main(["run", "--workload", "gcc", "--scheme", "none",
+                   "--requests", "150", "--seed", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "requests=150" in out
+        assert "scheme=baseline" in out
+
+    def test_run_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--workload", "doom"])
+
+    def test_security_command(self, capsys):
+        rc = main(["security", "--hcnt", "4096", "--raaimt", "64"])
+        assert rc == 0
+        assert "secure (<1%/rank-year): True" in capsys.readouterr().out
+
+    def test_attack_command_shadow_defends(self, capsys):
+        rc = main(["attack", "--scenario", "1", "--hcnt", "64",
+                   "--raaimt", "4", "--intervals", "150"])
+        assert rc == 0   # no flip under SHADOW
+        assert "flipped=False" in capsys.readouterr().out
+
+    def test_attack_command_no_shuffle_flips(self, capsys):
+        rc = main(["attack", "--scenario", "2", "--hcnt", "48",
+                   "--raaimt", "16", "--intervals", "100",
+                   "--no-shuffle"])
+        assert rc == 1   # exit code signals the flip
+        assert "flipped=True" in capsys.readouterr().out
+
+    def test_templating_command(self, capsys):
+        rc = main(["templating", "--seed", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "static:" in out and "shadow:" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

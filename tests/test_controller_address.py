@@ -1,0 +1,78 @@
+"""Address mapping bijectivity and structure."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.controller.address import AddressMapping, MemoryLocation
+from repro.dram.device import DramGeometry
+from repro.dram.subarray import SubarrayLayout
+
+GEOMETRY = DramGeometry(
+    channels=4, ranks_per_channel=2, banks_per_rank=16,
+    layout=SubarrayLayout(subarrays_per_bank=16, rows_per_subarray=512),
+    columns_per_row=128,
+)
+MAPPING = AddressMapping(GEOMETRY)
+
+
+def test_capacity():
+    # 4 ch * 2 rk * 16 bk * 8192 rows * 128 cols * 64 B = 8 GiB.
+    assert MAPPING.capacity_bytes == 8 * 2**30
+
+
+@given(st.integers(min_value=0, max_value=MAPPING.capacity_bytes - 1))
+@settings(max_examples=100)
+def test_decode_encode_roundtrip(pa):
+    loc = MAPPING.decode(pa)
+    assert MAPPING.encode(loc) == pa - (pa % AddressMapping.LINE_BYTES)
+
+
+@given(
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=0, max_value=1),
+    st.integers(min_value=0, max_value=15),
+    st.integers(min_value=0, max_value=8191),
+    st.integers(min_value=0, max_value=127),
+)
+@settings(max_examples=100)
+def test_encode_decode_roundtrip(ch, rk, bk, row, col):
+    loc = MemoryLocation(ch, rk, bk, row, col)
+    assert MAPPING.decode(MAPPING.encode(loc)) == loc
+
+
+def test_sequential_lines_spread_over_channels():
+    channels = [MAPPING.decode(i * 64).channel for i in range(128)]
+    assert set(channels) == set(range(4))
+
+
+def test_bank_hash_changes_bank_with_row():
+    hashed = AddressMapping(GEOMETRY, xor_bank_hash=True)
+    plain = AddressMapping(GEOMETRY, xor_bank_hash=False)
+    # Same "bank bits", different rows: the hashed mapping spreads banks.
+    locs = [hashed.decode(hashed.capacity_bytes // 8192 * 0 +
+                          (row << 21)) for row in range(8)]
+    banks_hashed = {loc.bank for loc in locs}
+    locs_plain = [plain.decode(row << 21) for row in range(8)]
+    banks_plain = {loc.bank for loc in locs_plain}
+    assert len(banks_hashed) >= len(banks_plain)
+
+
+def test_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        MAPPING.decode(MAPPING.capacity_bytes)
+    with pytest.raises(ValueError):
+        MAPPING.encode(MemoryLocation(9, 0, 0, 0, 0))
+
+
+def test_non_power_of_two_geometry_rejected():
+    bad = DramGeometry(channels=3)
+    with pytest.raises(ValueError):
+        AddressMapping(bad)
+
+
+def test_row_address_helper():
+    pa = MAPPING.row_address(1, 0, 3, 100, 5)
+    loc = MAPPING.decode(pa)
+    assert (loc.channel, loc.rank, loc.bank, loc.row, loc.column) == \
+        (1, 0, 3, 100, 5)

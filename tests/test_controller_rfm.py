@@ -1,0 +1,67 @@
+"""RAA counter semantics (DDR5 RFM interface)."""
+
+import pytest
+
+from repro.controller.rfm import RaaCounterBank
+from repro.dram.device import BankAddress
+
+A = BankAddress(0, 0, 0)
+B = BankAddress(0, 0, 1)
+
+
+def test_threshold_detection():
+    raa = RaaCounterBank(raaimt=4)
+    for _ in range(3):
+        raa.on_activate(A)
+    assert not raa.rfm_needed(A)
+    raa.on_activate(A)
+    assert raa.rfm_needed(A)
+    assert raa.banks_needing_rfm() == [A]
+
+
+def test_rfm_subtracts_raaimt():
+    raa = RaaCounterBank(raaimt=4)
+    for _ in range(6):
+        raa.on_activate(A)
+    raa.on_rfm(A)
+    assert raa.count(A) == 2
+    assert raa.rfms_issued == 1
+
+
+def test_rfm_below_threshold_rejected():
+    raa = RaaCounterBank(raaimt=4)
+    raa.on_activate(A)
+    with pytest.raises(RuntimeError):
+        raa.on_rfm(A)
+
+
+def test_ref_credits_counter():
+    raa = RaaCounterBank(raaimt=8)
+    for _ in range(5):
+        raa.on_activate(A)
+    raa.on_ref(A)
+    assert raa.count(A) == 0  # floor at zero
+
+
+def test_custom_ref_credit():
+    raa = RaaCounterBank(raaimt=8, ref_credit=2)
+    for _ in range(5):
+        raa.on_activate(A)
+    raa.on_ref(A)
+    assert raa.count(A) == 3
+
+
+def test_banks_independent():
+    raa = RaaCounterBank(raaimt=2)
+    raa.on_activate(A)
+    raa.on_activate(A)
+    raa.on_activate(B)
+    assert raa.rfm_needed(A)
+    assert not raa.rfm_needed(B)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        RaaCounterBank(raaimt=0)
+    with pytest.raises(ValueError):
+        RaaCounterBank(raaimt=4, ref_credit=-1)

@@ -1,0 +1,50 @@
+"""Command objects and miscellaneous small-surface validation."""
+
+import pytest
+
+from repro.dram.commands import Command, CommandType
+from repro.dram.timing import DDR5_4800
+from repro.analysis.power import IddValues, PowerModel, CommandCounts
+
+
+class TestCommand:
+    def test_act_requires_row(self):
+        with pytest.raises(ValueError):
+            Command(CommandType.ACT, 0, 0, 0, cycle=0)
+        cmd = Command(CommandType.ACT, 0, 0, 0, cycle=0, row=5)
+        assert cmd.row == 5
+
+    def test_column_commands_require_column(self):
+        with pytest.raises(ValueError):
+            Command(CommandType.RD, 0, 0, 0, cycle=0)
+        with pytest.raises(ValueError):
+            Command(CommandType.WR, 0, 0, 0, cycle=0)
+        Command(CommandType.RD, 0, 0, 0, cycle=0, column=3)
+
+    def test_ref_needs_nothing(self):
+        Command(CommandType.REF, 0, 0, 0, cycle=10)
+        Command(CommandType.RFM, 0, 0, 0, cycle=10)
+
+    def test_negative_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            Command(CommandType.PRE, 0, 0, 0, cycle=-1)
+
+
+class TestPowerOnDdr5:
+    def test_energies_scale_with_speed_grade(self):
+        ddr5 = PowerModel(DDR5_4800, idd=IddValues(vdd=1.1))
+        counts = CommandCounts(acts=1000, reads=2000, writes=500,
+                               refreshes=10, rfms=4,
+                               elapsed_cycles=1_000_000)
+        report = ddr5.report(counts)
+        assert report.total_w > 0
+        assert report.refresh_w > 0
+
+    def test_shadow_flag_controls_remap_term(self):
+        counts = CommandCounts(acts=1000, reads=0, writes=0,
+                               refreshes=0, rfms=0,
+                               elapsed_cycles=100_000)
+        plain = PowerModel(DDR5_4800, shadow=False).report(counts)
+        shadowed = PowerModel(DDR5_4800, shadow=True).report(counts)
+        assert plain.remap_access_w == 0.0
+        assert shadowed.remap_access_w > 0.0

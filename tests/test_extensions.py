@@ -1,0 +1,130 @@
+"""Section VIII extensions: RFM filtering and sPPR resources."""
+
+import pytest
+
+from repro.core import Shadow, ShadowConfig
+from repro.dram.device import BankAddress, DramGeometry
+from repro.dram.sppr import SpprConfig, SpprState
+from repro.dram.subarray import SubarrayLayout
+from repro.dram.timing import DDR4_2666
+from repro.mitigations import NoMitigation, Parfm
+from repro.mitigations.filtered import FilteredRfm
+
+GEOMETRY = DramGeometry(
+    channels=1, ranks_per_channel=1, banks_per_rank=2,
+    layout=SubarrayLayout(subarrays_per_bank=4, rows_per_subarray=64),
+)
+ADDR = BankAddress(0, 0, 0)
+
+
+def make_filtered(threshold=8, **kw):
+    inner = Shadow(ShadowConfig(raaimt=16, rng_kind="system"))
+    filtered = FilteredRfm(inner, hazard_threshold=threshold, **kw)
+    filtered.bind(GEOMETRY, DDR4_2666)
+    return filtered, inner
+
+
+class TestFilteredRfm:
+    def test_wraps_rfm_schemes_only(self):
+        with pytest.raises(ValueError):
+            FilteredRfm(NoMitigation(), hazard_threshold=8)
+        with pytest.raises(ValueError):
+            FilteredRfm(Parfm(raaimt=8), hazard_threshold=0)
+
+    def test_pass_through_surface(self):
+        filtered, inner = make_filtered()
+        assert filtered.uses_rfm
+        assert filtered.raaimt == inner.raaimt
+        assert filtered.act_extra_cycles == inner.act_extra_cycles
+        assert filtered.translate(ADDR, 5) == inner.translate(ADDR, 5)
+
+    def test_cold_bank_rfms_are_filtered(self):
+        filtered, inner = make_filtered(threshold=8)
+        # 16 ACTs, each to a different row: no row near the threshold.
+        for i in range(16):
+            da = filtered.translate(ADDR, i)
+            filtered.on_activate(ADDR, i, da, cycle=i)
+        outcome = filtered.on_rfm(ADDR, cycle=100)
+        assert filtered.rfms_filtered == 1
+        assert outcome.copies == []
+        assert inner.total_shuffles() == 0
+
+    def test_hot_bank_rfms_pass_through(self):
+        filtered, inner = make_filtered(threshold=8)
+        da = filtered.translate(ADDR, 3)
+        for i in range(16):   # one row hammered: crosses the threshold
+            filtered.on_activate(ADDR, 3, filtered.translate(ADDR, 3),
+                                 cycle=i)
+        outcome = filtered.on_rfm(ADDR, cycle=100)
+        assert filtered.rfms_passed == 1
+        assert inner.total_shuffles() == 1
+        assert outcome.copies
+
+    def test_hazard_state_resets_per_rfm(self):
+        filtered, inner = make_filtered(threshold=4)
+        for i in range(8):
+            filtered.on_activate(ADDR, 3, filtered.translate(ADDR, 3), i)
+        filtered.on_rfm(ADDR, 50)           # hot -> passes
+        outcome = filtered.on_rfm(ADDR, 60)  # nothing since -> filtered
+        assert filtered.rfms_passed == 1
+        assert filtered.rfms_filtered == 1
+
+    def test_hazard_is_per_bank(self):
+        filtered, inner = make_filtered(threshold=4)
+        other = BankAddress(0, 0, 1)
+        for i in range(8):
+            filtered.on_activate(ADDR, 3, filtered.translate(ADDR, 3), i)
+        assert filtered.hazard(ADDR, 10)
+        assert not filtered.hazard(other, 10)
+
+
+class TestSppr:
+    def test_repair_and_resolve(self):
+        state = SpprState()
+        spare = state.repair(ADDR, faulty_row=42)
+        assert state.resolve(ADDR, 42) == spare
+        assert state.resolve(ADDR, 43) is None
+        assert state.repairs_used(ADDR) == 1
+
+    def test_repair_idempotent(self):
+        state = SpprState()
+        assert state.repair(ADDR, 42) == state.repair(ADDR, 42)
+        assert state.repairs_used(ADDR) == 1
+
+    def test_per_bank_limit(self):
+        state = SpprState(SpprConfig(spare_rows_per_bank=1,
+                                     repairs_per_bank_group=8))
+        state.repair(ADDR, 1)
+        with pytest.raises(RuntimeError):
+            state.repair(ADDR, 2)
+
+    def test_bank_group_limit(self):
+        state = SpprState(SpprConfig(spare_rows_per_bank=4,
+                                     repairs_per_bank_group=2,
+                                     banks_per_group=4))
+        state.repair(BankAddress(0, 0, 0), 1)
+        state.repair(BankAddress(0, 0, 1), 1)
+        with pytest.raises(RuntimeError):
+            state.repair(BankAddress(0, 0, 2), 1)
+        # A different bank group still has budget.
+        state.repair(BankAddress(0, 0, 4), 1)
+
+    def test_power_cycle_clears_soft_repairs(self):
+        state = SpprState()
+        state.repair(ADDR, 42)
+        state.power_cycle()
+        assert state.resolve(ADDR, 42) is None
+        assert state.can_repair(ADDR)
+
+    def test_donatable_rows(self):
+        state = SpprState(SpprConfig(spare_rows_per_bank=2))
+        assert state.donatable_rows_per_subarray(16) == pytest.approx(1 / 8)
+        with pytest.raises(ValueError):
+            state.donatable_rows_per_subarray(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpprConfig(spare_rows_per_bank=0)
+        state = SpprState()
+        with pytest.raises(ValueError):
+            state.repair(ADDR, -1)

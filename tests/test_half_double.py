@@ -1,0 +1,95 @@
+"""Half-Double: abusing a TRR defense's own refreshes (paper II-C)."""
+
+import pytest
+
+from repro.dram.device import BankAddress
+from repro.dram.subarray import SubarrayLayout
+from repro.rowhammer.attacks import half_double
+from repro.rowhammer.model import DisturbanceModel, HammerConfig
+
+LAYOUT = SubarrayLayout(subarrays_per_bank=2, rows_per_subarray=64)
+ADDR = BankAddress(0, 0, 0)
+
+
+class TestRefreshHammering:
+    def test_refresh_charges_neighbours_when_enabled(self):
+        model = DisturbanceModel(HammerConfig(
+            hcnt=100, blast_radius=2, layout=LAYOUT,
+            refresh_hammers_neighbors=True))
+        model.on_row_refresh(ADDR, 10, cycle=0)
+        assert model.disturbance(ADDR, 11) == 1.0
+        assert model.disturbance(ADDR, 12) == 0.5
+        assert model.disturbance(ADDR, 10) == 0.0   # refreshed row resets
+
+    def test_disabled_by_default(self):
+        model = DisturbanceModel(HammerConfig(hcnt=100, layout=LAYOUT))
+        model.on_row_refresh(ADDR, 10, cycle=0)
+        assert model.disturbance(ADDR, 11) == 0.0
+
+    def test_refresh_can_complete_a_flip(self):
+        model = DisturbanceModel(HammerConfig(
+            hcnt=4, blast_radius=1, layout=LAYOUT,
+            refresh_hammers_neighbors=True))
+        for i in range(3):
+            model.on_activate(ADDR, 10, cycle=i)
+        assert not model.flipped
+        # A "protective" refresh of row 10's twin lands the last stroke.
+        model.on_row_refresh(ADDR, 12, cycle=3)
+        assert model.flipped
+        assert model.first_flip().da_row == 11
+
+
+class TestHalfDoublePattern:
+    def test_structure(self):
+        p = half_double(30)
+        assert set(p.aggressor_rows) == {28, 29, 31, 32}
+        # Far rows dominate the duty cycle 4:1.
+        far = sum(1 for r in p.aggressor_rows if abs(r - 30) == 2)
+        near = sum(1 for r in p.aggressor_rows if abs(r - 30) == 1)
+        assert far == 4 * near
+        with pytest.raises(ValueError):
+            half_double(1)
+
+    def test_trr_amplifies_half_double(self):
+        """Quantify the Half-Double lever: with refresh-as-activation
+        physics, a defense that TRRs the near rows' neighbours deposits
+        extra disturbance next to the victim."""
+        config = HammerConfig(hcnt=10**9, blast_radius=2, layout=LAYOUT,
+                              refresh_hammers_neighbors=True)
+        pattern = half_double(30)
+
+        # No defense: hammer only.
+        plain = DisturbanceModel(config)
+        for i, row in enumerate(pattern.rows(1000)):
+            plain.on_activate(ADDR, row, cycle=i)
+
+        # Naive TRR defense: every 20 ACTs, refresh the neighbours of
+        # the most recent aggressor (a PARA-like response).
+        defended = DisturbanceModel(config)
+        recent = None
+        for i, row in enumerate(pattern.rows(1000)):
+            defended.on_activate(ADDR, row, cycle=i)
+            recent = row
+            if i % 20 == 19:
+                for victim in (recent - 1, recent + 1):
+                    defended.on_row_refresh(ADDR, victim, cycle=i)
+
+        # The defense's refreshes of rows 29/31's neighbours (i.e. 30's
+        # direct neighbours, and 30 itself gets refreshed sometimes too)
+        # inject adjacency-1 disturbance pulses around the victim zone:
+        # total disturbance near the victim must not be *lower* than an
+        # accounting that ignores refresh hammering would claim.
+        naive = DisturbanceModel(HammerConfig(
+            hcnt=10**9, blast_radius=2, layout=LAYOUT))
+        recent = None
+        for i, row in enumerate(pattern.rows(1000)):
+            naive.on_activate(ADDR, row, cycle=i)
+            recent = row
+            if i % 20 == 19:
+                for victim in (recent - 1, recent + 1):
+                    naive.on_row_refresh(ADDR, victim, cycle=i)
+
+        zone = range(28, 33)
+        physical = sum(defended.disturbance(ADDR, r) for r in zone)
+        assumed = sum(naive.disturbance(ADDR, r) for r in zone)
+        assert physical > assumed

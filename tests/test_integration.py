@@ -1,0 +1,135 @@
+"""End-to-end integration: attacks through the full stack, protocol
+fuzzing, and cross-layer consistency checks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.controller.address import MemoryLocation
+from repro.controller.mc import McConfig, MemoryController
+from repro.controller.request import MemoryRequest
+from repro.core import Shadow, ShadowConfig
+from repro.dram.device import BankAddress, DramDevice, DramGeometry
+from repro.dram.subarray import SubarrayLayout
+from repro.dram.timing import DDR4_2666
+from repro.mitigations import NoMitigation, Parfm, RandomizedRowSwap, RrsConfig
+from repro.rowhammer import DisturbanceModel, HammerConfig, double_sided
+from repro.sim import System, SystemConfig
+from repro.workloads import WorkloadProfile
+
+GEOMETRY = DramGeometry(
+    channels=1, ranks_per_channel=1, banks_per_rank=2,
+    layout=SubarrayLayout(subarrays_per_bank=4, rows_per_subarray=64),
+    columns_per_row=32,
+)
+
+
+def hammer_through_stack(pattern, mitigation, hcnt=500, total_acts=4000):
+    """Replay an attack pattern serially through the MC."""
+    device = DramDevice(GEOMETRY, DDR4_2666)
+    model = DisturbanceModel(
+        HammerConfig(hcnt=hcnt, blast_radius=3, layout=GEOMETRY.layout))
+    mc = MemoryController(device, mitigation, observer=model,
+                          config=McConfig(enable_refresh=False))
+    cycle = 0
+    for row in pattern.rows(total_acts):
+        request = MemoryRequest(
+            location=MemoryLocation(0, 0, 0, row, 0),
+            is_write=False, thread_id=0, arrival=cycle)
+        mc.enqueue(request)
+        while mc.pending_requests():
+            _done, wake = mc.drain(0, cycle)
+            if mc.pending_requests() == 0:
+                break
+            cycle = wake if wake and wake > cycle else cycle + 1
+        cycle = max(cycle, request.completed or cycle)
+        if model.flipped:
+            break
+    return model
+
+
+class TestAttackIntegration:
+    def test_double_sided_flips_unprotected(self):
+        model = hammer_through_stack(double_sided(30), NoMitigation())
+        assert model.flipped
+        assert model.first_flip().da_row == GEOMETRY.layout.identity_da(30)
+
+    def test_shadow_prevents_double_sided(self):
+        shadow = Shadow(ShadowConfig(raaimt=16, rng_kind="system"))
+        model = hammer_through_stack(double_sided(30), shadow)
+        assert not model.flipped
+        assert shadow.total_shuffles() > 0
+        shadow.check_invariants()
+
+    def test_parfm_reduces_disturbance(self):
+        unprotected = hammer_through_stack(
+            double_sided(30), NoMitigation(), hcnt=10_000, total_acts=2000)
+        parfm = hammer_through_stack(
+            double_sided(30), Parfm(raaimt=16), hcnt=10_000,
+            total_acts=2000)
+        assert parfm.max_disturbance() < unprotected.max_disturbance()
+
+    def test_rrs_swaps_move_the_aggressors(self):
+        rrs = RandomizedRowSwap(RrsConfig(hcnt=300))
+        model = hammer_through_stack(double_sided(30), rrs, hcnt=2000,
+                                     total_acts=1500)
+        assert rrs.swaps > 0
+        assert not model.flipped
+
+
+class TestSystemFuzz:
+    """Random workload profiles through the full system: the DRAM
+    protocol checker (every issue_* asserts its constraints) acts as
+    the property oracle -- any violation raises."""
+
+    @given(
+        mpki=st.floats(min_value=0.5, max_value=60.0),
+        locality=st.floats(min_value=0.0, max_value=0.95),
+        writes=st.floats(min_value=0.0, max_value=1.0),
+        zipf=st.floats(min_value=0.0, max_value=1.5),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_random_profiles_complete_cleanly(self, mpki, locality,
+                                              writes, zipf, seed):
+        profile = WorkloadProfile(
+            "fuzz", mpki=mpki, row_buffer_locality=locality,
+            write_fraction=writes, footprint_pages=256, zipf_alpha=zipf)
+        config = SystemConfig(geometry=GEOMETRY, requests_per_thread=120,
+                              seed=seed)
+        result = System([profile, profile], config=config).run()
+        assert result.requests_issued == 240
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=5, deadline=None)
+    def test_shadow_under_fuzz_keeps_invariants(self, seed):
+        profile = WorkloadProfile(
+            "fuzz", mpki=40.0, row_buffer_locality=0.1,
+            footprint_pages=128, zipf_alpha=1.0)
+        shadow = Shadow(ShadowConfig(raaimt=8, rng_kind="system",
+                                     rng_seed=seed))
+        config = SystemConfig(geometry=GEOMETRY, requests_per_thread=200,
+                              seed=seed)
+        result = System([profile], shadow, config=config).run()
+        assert result.requests_issued == 200
+        shadow.check_invariants()
+        # Translation is still one-to-one on every touched bank.
+        for addr in (BankAddress(0, 0, 0), BankAddress(0, 0, 1)):
+            rows = GEOMETRY.layout.mc_rows_per_bank
+            das = {shadow.translate(addr, pa) for pa in range(rows)}
+            assert len(das) == rows
+
+
+class TestObserverConsistency:
+    def test_timing_and_fault_model_see_the_same_acts(self):
+        """The ACT count charged by the timing model must equal the ACT
+        count observed by the disturbance model."""
+        model = DisturbanceModel(
+            HammerConfig(hcnt=10**9, layout=GEOMETRY.layout))
+        profile = WorkloadProfile("x", mpki=30.0, row_buffer_locality=0.2,
+                                  footprint_pages=64)
+        config = SystemConfig(geometry=GEOMETRY,
+                              requests_per_thread=300, seed=5)
+        system = System([profile], observer=model, config=config)
+        result = system.run()
+        assert model.total_acts == result.stats.acts

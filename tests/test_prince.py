@@ -1,0 +1,92 @@
+"""PRINCE cipher: published test vectors and structural properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.prince import (
+    ALPHA,
+    MASK64,
+    PrinceCipher,
+    ROUND_CONSTANTS,
+    SBOX,
+    SBOX_INV,
+    m_prime_layer,
+    sbox_layer,
+    shift_rows,
+)
+
+# The five test vectors from Borghoff et al. (ASIACRYPT 2012), Appendix A.
+VECTORS = [
+    (0x0000000000000000, 0x0000000000000000, 0x0000000000000000,
+     0x818665AA0D02DFDA),
+    (0xFFFFFFFFFFFFFFFF, 0x0000000000000000, 0x0000000000000000,
+     0x604AE6CA03C20ADA),
+    (0x0000000000000000, 0xFFFFFFFFFFFFFFFF, 0x0000000000000000,
+     0x9FB51935FC3DF524),
+    (0x0000000000000000, 0x0000000000000000, 0xFFFFFFFFFFFFFFFF,
+     0x78A54CBE737BB7EF),
+    (0x0123456789ABCDEF, 0x0000000000000000, 0xFEDCBA9876543210,
+     0xAE25AD3CA8FA9CCF),
+]
+
+
+@pytest.mark.parametrize("pt,k0,k1,ct", VECTORS)
+def test_published_vectors(pt, k0, k1, ct):
+    cipher = PrinceCipher((k0 << 64) | k1)
+    assert cipher.encrypt(pt) == ct
+
+
+@pytest.mark.parametrize("pt,k0,k1,ct", VECTORS)
+def test_decrypt_inverts_vectors(pt, k0, k1, ct):
+    cipher = PrinceCipher((k0 << 64) | k1)
+    assert cipher.decrypt(ct) == pt
+
+
+def test_sbox_is_a_permutation():
+    assert sorted(SBOX) == list(range(16))
+    assert all(SBOX_INV[SBOX[i]] == i for i in range(16))
+
+
+def test_round_constants_alpha_reflection():
+    # RC_i XOR RC_{11-i} == alpha: the property enabling cheap decryption.
+    for i in range(12):
+        assert ROUND_CONSTANTS[i] ^ ROUND_CONSTANTS[11 - i] == ALPHA
+
+
+@given(st.integers(min_value=0, max_value=MASK64))
+@settings(max_examples=50)
+def test_m_prime_is_an_involution(state):
+    assert m_prime_layer(m_prime_layer(state)) == state
+
+
+@given(st.integers(min_value=0, max_value=MASK64))
+@settings(max_examples=50)
+def test_sbox_layer_roundtrips(state):
+    assert sbox_layer(sbox_layer(state), inverse=True) == state
+
+
+@given(st.integers(min_value=0, max_value=MASK64))
+@settings(max_examples=50)
+def test_shift_rows_roundtrips(state):
+    assert shift_rows(shift_rows(state), inverse=True) == state
+
+
+@given(
+    st.integers(min_value=0, max_value=MASK64),
+    st.integers(min_value=0, max_value=(1 << 128) - 1),
+)
+@settings(max_examples=25)
+def test_encrypt_decrypt_roundtrip(plaintext, key):
+    cipher = PrinceCipher(key)
+    assert cipher.decrypt(cipher.encrypt(plaintext)) == plaintext
+
+
+def test_rejects_out_of_range_inputs():
+    cipher = PrinceCipher(0)
+    with pytest.raises(ValueError):
+        cipher.encrypt(1 << 64)
+    with pytest.raises(ValueError):
+        cipher.decrypt(-1)
+    with pytest.raises(ValueError):
+        PrinceCipher(1 << 128)

@@ -1,0 +1,106 @@
+"""Attack pattern generators and SHADOW-specific adversaries."""
+
+import pytest
+
+from repro.dram.subarray import SubarrayLayout
+from repro.rowhammer.attacks import (
+    blast_attack,
+    double_sided,
+    many_sided,
+    single_sided,
+)
+from repro.rowhammer.adversary import (
+    ScenarioIAttacker,
+    ScenarioIIAttacker,
+    ScenarioIIIAttacker,
+)
+from repro.utils.rng import SystemRng
+
+LAYOUT = SubarrayLayout(subarrays_per_bank=4, rows_per_subarray=64)
+
+
+class TestPatterns:
+    def test_single_sided(self):
+        p = single_sided(100)
+        rows = list(p.rows(10))
+        assert rows.count(100) == 5
+        assert p.distinct_aggressors == 2
+
+    def test_double_sided_brackets_victim(self):
+        p = double_sided(50)
+        assert set(p.aggressor_rows) == {49, 51}
+        assert p.intended_victims == (50,)
+        rows = list(p.rows(6))
+        assert rows == [49, 51, 49, 51, 49, 51]
+
+    def test_many_sided_structure(self):
+        p = many_sided(40, sides=5)
+        aggs = sorted(p.aggressor_rows)
+        # Aggressors spaced two apart, victims between them.
+        assert all(b - a == 2 for a, b in zip(aggs, aggs[1:]))
+        assert all(v not in aggs for v in p.intended_victims)
+
+    def test_blast_attack_skips_neighbours(self):
+        p = blast_attack(30, radius=2)
+        assert set(p.aggressor_rows) == {28, 32}
+        assert 30 in p.intended_victims
+        with pytest.raises(ValueError):
+            blast_attack(30, radius=1)
+
+    def test_rows_count_exact(self):
+        p = double_sided(5)
+        assert len(list(p.rows(0))) == 0
+        assert len(list(p.rows(7))) == 7
+        with pytest.raises(ValueError):
+            list(p.rows(-1))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            double_sided(0)
+        with pytest.raises(ValueError):
+            many_sided(1, sides=9)
+        with pytest.raises(ValueError):
+            many_sided(10, sides=1)
+
+
+class TestAdversaries:
+    def test_scenario_one_changes_rows_between_intervals(self):
+        attacker = ScenarioIAttacker(LAYOUT, subarray=1, rng=SystemRng(7))
+        rows_a = attacker.interval_rows(0, acts=8)
+        rows_b = attacker.interval_rows(1, acts=8)
+        # Within an interval: one row, hammered repeatedly.
+        assert len(set(rows_a)) == 1
+        assert len(set(rows_b)) == 1
+        # All rows stay in the chosen subarray.
+        assert LAYOUT.subarray_of_pa(rows_a[0]) == 1
+        # Over many intervals the attacker varies its row.
+        seen = {attacker.interval_rows(i, 1)[0] for i in range(30)}
+        assert len(seen) > 5
+
+    def test_scenario_two_fixed_set_round_robin(self):
+        attacker = ScenarioIIAttacker(LAYOUT, subarray=2, n_aggr=4,
+                                      rng=SystemRng(3))
+        assert len(set(attacker.rows)) == 4
+        assert all(LAYOUT.subarray_of_pa(r) == 2 for r in attacker.rows)
+        rows = attacker.interval_rows(0, acts=8)
+        assert rows == attacker.rows * 2
+        # Same set in the next interval.
+        assert attacker.interval_rows(5, acts=4) == attacker.rows
+
+    def test_scenario_two_validation(self):
+        with pytest.raises(ValueError):
+            ScenarioIIAttacker(LAYOUT, 0, n_aggr=0, rng=SystemRng(1))
+        with pytest.raises(ValueError):
+            ScenarioIIAttacker(LAYOUT, 0, n_aggr=65, rng=SystemRng(1))
+
+    def test_scenario_three_spans_subarrays(self):
+        attacker = ScenarioIIIAttacker(LAYOUT, n_aggr=16, rng=SystemRng(9))
+        subs = {LAYOUT.subarray_of_pa(r) for r in attacker.rows}
+        assert len(subs) > 1
+        assert len(set(attacker.rows)) == 16
+
+    def test_scenario_three_restricted_subarrays(self):
+        attacker = ScenarioIIIAttacker(LAYOUT, n_aggr=6, rng=SystemRng(2),
+                                       subarrays=[0, 3])
+        subs = {LAYOUT.subarray_of_pa(r) for r in attacker.rows}
+        assert subs <= {0, 3}

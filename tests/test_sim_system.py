@@ -1,0 +1,202 @@
+"""Core model, system loop, metrics, and runner."""
+
+import pytest
+
+from repro.controller.address import AddressMapping, MemoryLocation
+from repro.controller.request import MemoryRequest
+from repro.core import Shadow, ShadowConfig
+from repro.dram.device import DramGeometry
+from repro.dram.subarray import SubarrayLayout
+from repro.mitigations import DoubleRefreshRate, NoMitigation
+from repro.sim import (
+    ExperimentRunner,
+    System,
+    SystemConfig,
+    normalized_performance,
+    throughput,
+    weighted_speedup,
+)
+from repro.sim.core_model import ThreadState
+from repro.sim.metrics import relative_weighted_speedup
+from repro.workloads import SPEC_PROFILES, WorkloadProfile
+
+SMALL_GEO = DramGeometry(
+    channels=2, ranks_per_channel=1, banks_per_rank=4,
+    layout=SubarrayLayout(subarrays_per_bank=4, rows_per_subarray=128),
+    columns_per_row=64,
+)
+
+
+def small_config(**kw):
+    kw.setdefault("geometry", SMALL_GEO)
+    kw.setdefault("requests_per_thread", 200)
+    kw.setdefault("seed", 7)
+    return SystemConfig(**kw)
+
+
+def fake_trace(n, gap_ns=10.0, write_every=None):
+    def gen():
+        i = 0
+        while True:
+            is_write = write_every is not None and i % write_every == 0
+            yield gap_ns, MemoryLocation(0, 0, i % 4, (i * 3) % 128, 0), \
+                is_write
+            i += 1
+    return gen()
+
+
+class TestThreadState:
+    def test_issue_respects_gap(self):
+        t = ThreadState(0, fake_trace(10), request_budget=5, tck_ns=0.75)
+        assert not t.can_issue(0)
+        ready = t.next_ready
+        assert t.can_issue(ready)
+        req = t.issue(ready)
+        assert req.arrival == ready
+        assert t.outstanding == 1
+
+    def test_mlp_limit_blocks_loads(self):
+        t = ThreadState(0, fake_trace(100), request_budget=50,
+                        tck_ns=0.75, mlp=2)
+        cycle = 0
+        issued = []
+        while t.can_issue(max(cycle, t.next_ready)) and len(issued) < 10:
+            cycle = max(cycle, t.next_ready)
+            issued.append(t.issue(cycle))
+        assert len(issued) == 2          # window fills at two loads
+        assert t.stalled_on_mlp(t.next_ready)
+        t.on_completion(issued[0], cycle + 100)
+        assert t.can_issue(max(cycle + 100, t.next_ready))
+
+    def test_writes_do_not_occupy_window(self):
+        t = ThreadState(0, fake_trace(100, write_every=1),
+                        request_budget=20, tck_ns=0.75, mlp=1)
+        cycle = 0
+        for _ in range(5):
+            cycle = max(cycle, t.next_ready)
+            assert t.can_issue(cycle)
+            t.issue(cycle)
+        assert t.outstanding == 0
+
+    def test_finish_detection(self):
+        t = ThreadState(0, fake_trace(10), request_budget=1, tck_ns=0.75)
+        req = t.issue(t.next_ready)
+        assert t.drained and not t.finished
+        t.on_completion(req, 500)
+        assert t.finished
+        assert t.finish_cycle == 500
+
+    def test_completion_without_outstanding_rejected(self):
+        t = ThreadState(0, fake_trace(10), request_budget=2, tck_ns=0.75)
+        fake = MemoryRequest(MemoryLocation(0, 0, 0, 0, 0), False, 0, 0)
+        with pytest.raises(RuntimeError):
+            t.on_completion(fake, 10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThreadState(0, fake_trace(1), request_budget=0, tck_ns=0.75)
+        with pytest.raises(ValueError):
+            ThreadState(0, fake_trace(1), request_budget=1, tck_ns=0.75,
+                        mlp=0)
+
+
+class TestSystem:
+    def test_all_requests_complete(self):
+        system = System([SPEC_PROFILES["gcc"]], config=small_config())
+        result = system.run()
+        assert result.requests_issued == 200
+        assert result.reads_completed > 0
+        assert result.cycles > 0
+        assert len(result.thread_finish_cycles) == 1
+
+    def test_deterministic(self):
+        r1 = System([SPEC_PROFILES["gcc"]], config=small_config()).run()
+        r2 = System([SPEC_PROFILES["gcc"]], config=small_config()).run()
+        assert r1.cycles == r2.cycles
+        assert r1.stats.acts == r2.stats.acts
+
+    def test_more_threads_more_cycles(self):
+        one = System([SPEC_PROFILES["lbm"]], config=small_config()).run()
+        four = System([SPEC_PROFILES["lbm"]] * 4,
+                      config=small_config()).run()
+        assert four.cycles > one.cycles
+        assert four.requests_issued == 4 * one.requests_issued
+
+    def test_shadow_runs_end_to_end(self):
+        shadow = Shadow(ShadowConfig(raaimt=16, rng_kind="system"))
+        geometry = DramGeometry(
+            channels=1, ranks_per_channel=1, banks_per_rank=2,
+            layout=SubarrayLayout(subarrays_per_bank=4,
+                                  rows_per_subarray=128),
+            columns_per_row=64)
+        cfg = SystemConfig(geometry=geometry, requests_per_thread=400,
+                           seed=7)
+        result = System([SPEC_PROFILES["mcf"]], shadow, config=cfg).run()
+        assert result.rfms > 0
+        shadow.check_invariants()
+
+    def test_drr_issues_more_refreshes(self):
+        cfg = small_config(requests_per_thread=600)
+        base = System([SPEC_PROFILES["leela"]], config=cfg).run()
+        drr = System([SPEC_PROFILES["leela"]], DoubleRefreshRate(),
+                     config=cfg).run()
+        # leela is slow enough that both runs span several tREFI.
+        assert drr.refreshes > base.refreshes
+
+    def test_empty_profiles_rejected(self):
+        with pytest.raises(ValueError):
+            System([], config=small_config())
+
+
+class TestMetrics:
+    def test_throughput(self):
+        assert throughput(100, 50) == 2.0
+        with pytest.raises(ValueError):
+            throughput(1, 0)
+
+    def test_normalized_performance(self):
+        assert normalized_performance(100, 50) == 2.0   # 2x faster
+        assert normalized_performance(50, 100) == 0.5
+
+    def test_weighted_speedup(self):
+        # Two threads, one at full speed, one at half speed.
+        assert weighted_speedup([100, 100], [100, 200]) == pytest.approx(1.5)
+        with pytest.raises(ValueError):
+            weighted_speedup([100], [100, 200])
+        with pytest.raises(ValueError):
+            weighted_speedup([], [])
+
+    def test_relative_weighted_speedup(self):
+        rel = relative_weighted_speedup([100, 100], [110, 110], [100, 100])
+        assert rel == pytest.approx(100 / 110)
+
+
+class TestRunner:
+    def test_alone_cache_hits(self):
+        runner = ExperimentRunner(config=small_config())
+        p = SPEC_PROFILES["xz"]
+        a = runner.run_alone(p, NoMitigation)
+        b = runner.run_alone(p, NoMitigation)
+        assert a == b
+        assert len(runner._alone_cache) == 1
+
+    def test_run_result_weighted_speedup(self):
+        runner = ExperimentRunner(config=small_config())
+        result = runner.run([SPEC_PROFILES["xz"], SPEC_PROFILES["gcc"]])
+        # Shared execution is never faster than running alone.
+        assert result.weighted_speedup <= 2.0 + 1e-9
+        assert result.weighted_speedup > 0.5
+
+    def test_relative_performance_close_to_one_for_noop(self):
+        runner = ExperimentRunner(config=small_config())
+        rel = runner.relative_performance(
+            [SPEC_PROFILES["xz"]], NoMitigation, NoMitigation)
+        assert rel == pytest.approx(1.0)
+
+    def test_single_thread_relative(self):
+        runner = ExperimentRunner(config=small_config())
+        rel = runner.single_thread_relative(
+            SPEC_PROFILES["gcc"],
+            lambda: Shadow(ShadowConfig(raaimt=32, rng_kind="system")))
+        # SHADOW costs a little but never approaches DRR-level overhead.
+        assert 0.9 < rel <= 1.001

@@ -1,0 +1,76 @@
+"""Stateful property testing of SHADOW's remapping machinery.
+
+A hypothesis rule-based machine drives an arbitrary interleaving of
+activations, shuffles, and translations against a model dictionary,
+checking after every step that:
+
+* the PA-to-DA mapping stays a bijection with exactly one empty slot;
+* ``occupant_of`` is the exact inverse of ``translate``;
+* a logical row's identity survives any number of relocations (what a
+  program reads through a PA never changes);
+* the incremental pointer sweeps all slots round-robin.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.core.controller import ShadowBankController
+from repro.dram.subarray import SubarrayLayout
+from repro.utils.rng import SystemRng
+
+LAYOUT = SubarrayLayout(subarrays_per_bank=2, rows_per_subarray=16)
+
+
+class RemappingMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.ctrl = ShadowBankController(LAYOUT, raaimt=8,
+                                         rng=SystemRng(99))
+        # Model: logical content of each PA row (its own number).
+        self.rows = LAYOUT.mc_rows_per_bank
+
+    @rule(pa=st.integers(min_value=0, max_value=LAYOUT.mc_rows_per_bank - 1))
+    def activate(self, pa):
+        self.ctrl.record_activation(pa)
+
+    @rule()
+    def rfm(self):
+        refreshed, copies = self.ctrl.run_rfm()
+        # The incremental refresh touched at most one row; the shuffle
+        # produced at most two copies, all within one subarray.
+        assert len(refreshed) <= 1
+        assert len(copies) in (1, 2)
+        subs = {LAYOUT.subarray_of_da(src) for src, _ in copies} | \
+               {LAYOUT.subarray_of_da(dst) for _, dst in copies}
+        assert len(subs) == 1
+
+    @rule(pa=st.integers(min_value=0, max_value=LAYOUT.mc_rows_per_bank - 1))
+    def translate_roundtrip(self, pa):
+        da = self.ctrl.translate(pa)
+        sub = LAYOUT.subarray_of_da(da)
+        offset = LAYOUT.da_offset(da)
+        occupant = self.ctrl.remapping_row(sub).occupant_of(offset)
+        assert occupant == LAYOUT.pa_offset(pa)
+        assert LAYOUT.subarray_of_pa(pa) == sub
+
+    @invariant()
+    def mapping_is_bijective(self):
+        das = {self.ctrl.translate(pa) for pa in range(self.rows)}
+        assert len(das) == self.rows
+        self.ctrl.check_invariants()
+
+    @invariant()
+    def incremental_pointer_in_range(self):
+        for sub in range(LAYOUT.subarrays_per_bank):
+            remap = self.ctrl.remapping_row(sub)
+            assert 0 <= remap.incr_ptr < remap.slots
+
+
+TestRemappingMachine = RemappingMachine.TestCase
+TestRemappingMachine.settings = settings(
+    max_examples=20, stateful_step_count=30, deadline=None)

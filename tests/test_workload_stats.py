@@ -1,0 +1,84 @@
+"""Trace statistics."""
+
+import itertools
+
+import pytest
+
+from repro.controller.address import AddressMapping, MemoryLocation
+from repro.dram.device import DramGeometry
+from repro.workloads import SPEC_PROFILES, TraceGenerator
+from repro.workloads.stats import TraceStats, analyze, summarize
+
+L = MemoryLocation
+
+
+def entries(rows, gap=10.0, bank=0):
+    return [(gap, L(0, 0, bank, r, 0), False) for r in rows]
+
+
+class TestAnalyze:
+    def test_basic_counting(self):
+        stats = analyze(entries([1, 1, 2, 1]))
+        assert stats.requests == 4
+        assert stats.distinct_rows == 2
+        assert stats.distinct_banks == 1
+        # 1 (open) -> hit -> 2 (transition) -> 1 (transition): 3 ACTs.
+        assert stats.row_transitions == 3
+        assert stats.row_hit_potential == pytest.approx(0.25)
+        assert stats.duration_ns == 40.0
+
+    def test_writes_and_rates(self):
+        data = [(5.0, L(0, 0, 0, 1, 0), True),
+                (5.0, L(0, 0, 0, 2, 0), False)]
+        stats = analyze(data)
+        assert stats.write_fraction == 0.5
+        assert stats.request_rate_per_us == pytest.approx(200.0)
+        assert stats.act_rate_per_us == pytest.approx(200.0)
+
+    def test_hottest_row(self):
+        stats = analyze(entries([1, 2, 1, 2, 1, 3]))
+        assert stats.hottest_row_acts() == 3   # row 1 activated 3 times
+        assert stats.would_trigger(3)
+        assert not stats.would_trigger(4)
+
+    def test_rfm_rate(self):
+        stats = analyze(entries(range(64), gap=100.0))
+        # 64 ACTs over 6.4 us with RAAIMT 16 -> 4 RFMs / 0.0064 ms.
+        assert stats.rfm_rate_per_ms(16) == pytest.approx(4 / 0.0064)
+        with pytest.raises(ValueError):
+            stats.rfm_rate_per_ms(0)
+
+    def test_empty_stream(self):
+        stats = analyze([])
+        assert stats.requests == 0
+        assert stats.row_hit_potential == 0.0
+        assert stats.hottest_row_acts() == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            analyze([], top=0)
+        with pytest.raises(ValueError):
+            analyze(entries([1])).would_trigger(0)
+
+
+class TestOnGenerators:
+    def test_profiles_separate_by_intensity(self):
+        mapping = AddressMapping(DramGeometry())
+        def stats_for(name):
+            gen = TraceGenerator(SPEC_PROFILES[name], mapping, 0, seed=6)
+            return analyze(itertools.islice(gen.requests(), 1500))
+        hot = stats_for("lbm")
+        cold = stats_for("leela")
+        assert hot.request_rate_per_us > 5 * cold.request_rate_per_us
+
+    def test_zipf_profile_concentrates(self):
+        mapping = AddressMapping(DramGeometry())
+        gen = TraceGenerator(SPEC_PROFILES["mcf"], mapping, 0, seed=6)
+        stats = analyze(itertools.islice(gen.requests(), 3000))
+        # mcf's Zipf head is what the tracker experiments rely on.
+        assert stats.hottest_row_acts() > 20
+
+    def test_summarize_renders(self):
+        stats = analyze(entries([1, 2, 3]))
+        text = summarize(stats)
+        assert "requests" in text and "hottest-row" in text

@@ -1,0 +1,162 @@
+"""Workload profiles, trace generation, and the paper's mixes."""
+
+import pytest
+
+from repro.controller.address import AddressMapping
+from repro.dram.device import DramGeometry
+from repro.workloads import (
+    GAPBS_PROFILES,
+    NPB_PROFILES,
+    SPEC_HIGH,
+    SPEC_LOW,
+    SPEC_MED,
+    SPEC_PROFILES,
+    TraceGenerator,
+    WorkloadProfile,
+    mix_blend,
+    mix_high,
+    mix_random,
+    random_stream_profile,
+    spec_group,
+    stream_profile,
+)
+
+GEOMETRY = DramGeometry()
+MAPPING = AddressMapping(GEOMETRY)
+
+
+def take(gen, n):
+    out = []
+    stream = gen.requests()
+    for _ in range(n):
+        out.append(next(stream))
+    return out
+
+
+class TestProfiles:
+    def test_paper_groups_complete(self):
+        assert set(SPEC_HIGH) == {"bwaves", "fotonik3d", "lbm", "mcf", "wrf"}
+        assert set(SPEC_MED) == {"deepsjeng", "gcc", "xz"}
+        assert set(SPEC_LOW) == {"exchange2", "imagick", "leela"}
+        assert set(SPEC_PROFILES) == set(SPEC_HIGH + SPEC_MED + SPEC_LOW)
+
+    def test_intensity_ordering(self):
+        """The defining property of the groups: high > med > low MPKI."""
+        high = min(p.mpki for p in spec_group("high"))
+        med_hi = max(p.mpki for p in spec_group("med"))
+        med_lo = min(p.mpki for p in spec_group("med"))
+        low = max(p.mpki for p in spec_group("low"))
+        assert high > med_hi
+        assert med_lo > low
+
+    def test_intensity_class(self):
+        assert SPEC_PROFILES["lbm"].intensity_class() == "high"
+        assert SPEC_PROFILES["gcc"].intensity_class() == "med"
+        assert SPEC_PROFILES["leela"].intensity_class() == "low"
+
+    def test_gapbs_npb_exist(self):
+        assert len(GAPBS_PROFILES) == 6
+        assert len(NPB_PROFILES) == 6
+        # GAPBS traversals have poor locality (pointer chasing).
+        assert all(p.row_buffer_locality <= 0.4
+                   for p in GAPBS_PROFILES.values())
+
+    def test_spec_group_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            spec_group("extreme")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile("bad", mpki=0, row_buffer_locality=0.5)
+        with pytest.raises(ValueError):
+            WorkloadProfile("bad", mpki=1, row_buffer_locality=1.0)
+        with pytest.raises(ValueError):
+            WorkloadProfile("bad", mpki=1, row_buffer_locality=0.5,
+                            zipf_alpha=-1)
+
+    def test_mean_run_length(self):
+        p = WorkloadProfile("x", mpki=1, row_buffer_locality=0.75)
+        assert p.mean_run_length == pytest.approx(4.0)
+
+
+class TestTraceGenerator:
+    def test_deterministic_under_seed(self):
+        a = take(TraceGenerator(SPEC_PROFILES["mcf"], MAPPING, 0, seed=5), 50)
+        b = take(TraceGenerator(SPEC_PROFILES["mcf"], MAPPING, 0, seed=5), 50)
+        assert a == b
+
+    def test_different_threads_differ(self):
+        a = take(TraceGenerator(SPEC_PROFILES["mcf"], MAPPING, 0, seed=5), 50)
+        b = take(TraceGenerator(SPEC_PROFILES["mcf"], MAPPING, 1, seed=5), 50)
+        assert a != b
+
+    def test_locations_are_in_geometry(self):
+        for _gap, loc, _w in take(
+                TraceGenerator(SPEC_PROFILES["bwaves"], MAPPING, 2), 200):
+            assert 0 <= loc.channel < GEOMETRY.channels
+            assert 0 <= loc.row < GEOMETRY.rows_per_bank
+            assert 0 <= loc.column < GEOMETRY.columns_per_row
+
+    def test_gaps_scale_with_mpki(self):
+        hot = take(TraceGenerator(random_stream_profile(), MAPPING, 0), 300)
+        cold = take(TraceGenerator(SPEC_PROFILES["leela"], MAPPING, 0), 300)
+        mean_hot = sum(g for g, _l, _w in hot) / len(hot)
+        mean_cold = sum(g for g, _l, _w in cold) / len(cold)
+        assert mean_cold > 20 * mean_hot
+
+    def test_sequential_profile_streams_rows(self):
+        reqs = take(TraceGenerator(stream_profile(), MAPPING, 0), 400)
+        # High-locality stream: most consecutive accesses share the row.
+        same = sum(
+            1 for (g1, a, w1), (g2, b, w2) in zip(reqs, reqs[1:])
+            if (a.row, a.bank, a.rank) == (b.row, b.bank, b.rank))
+        assert same / len(reqs) > 0.7
+
+    def test_zipf_concentrates_accesses(self):
+        flat = WorkloadProfile("flat", mpki=20, row_buffer_locality=0.0,
+                               footprint_pages=4096)
+        hot = WorkloadProfile("hot", mpki=20, row_buffer_locality=0.0,
+                              footprint_pages=4096, zipf_alpha=1.2)
+        def top_share(profile):
+            counts = {}
+            for _g, loc, _w in take(
+                    TraceGenerator(profile, MAPPING, 0, seed=9), 2000):
+                key = (loc.rank, loc.bank, loc.row)
+                counts[key] = counts.get(key, 0) + 1
+            return max(counts.values()) / 2000
+        assert top_share(hot) > 4 * top_share(flat)
+
+    def test_write_fraction_respected(self):
+        p = WorkloadProfile("w", mpki=10, row_buffer_locality=0.0,
+                            write_fraction=0.5)
+        reqs = take(TraceGenerator(p, MAPPING, 0, seed=3), 1000)
+        writes = sum(1 for _g, _l, w in reqs if w)
+        assert 380 < writes < 620
+
+
+class TestMixes:
+    def test_mix_high_is_all_high(self):
+        profiles = mix_high(14)
+        assert len(profiles) == 14
+        assert all(p.name in SPEC_HIGH for p in profiles)
+
+    def test_mix_blend_spans_groups(self):
+        profiles = mix_blend(14)
+        classes = {p.intensity_class() for p in profiles}
+        assert classes == {"high", "med", "low"}
+
+    def test_mix_random_deterministic_and_varied(self):
+        a = mix_random(seed=1, threads=16)
+        b = mix_random(seed=1, threads=16)
+        c = mix_random(seed=2, threads=16)
+        assert [p.name for p in a] == [p.name for p in b]
+        assert [p.name for p in a] != [p.name for p in c]
+        assert len(a) == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mix_high(0)
+        with pytest.raises(ValueError):
+            mix_blend(-1)
+        with pytest.raises(ValueError):
+            mix_random(seed=1, threads=0)
