@@ -138,11 +138,25 @@ def cmd_templating(args) -> int:
     return 0
 
 
+#: Drivers that run on the experiment engine and take its flags.
+ENGINE_EXPERIMENTS = frozenset(
+    ["fig8", "fig9", "fig10", "fig11", "fig12", "ablations"])
+
+
 def cmd_experiment(args) -> int:
     """Handle ``shadow-repro experiment <name>``."""
     import importlib
     module = importlib.import_module(f"repro.experiments.{args.name}")
-    sys.argv = [args.name] + ([args.fidelity] if args.fidelity else [])
+    argv = [args.fidelity] if args.fidelity else []
+    if args.name in ENGINE_EXPERIMENTS:
+        if args.jobs != 1:
+            argv += ["--jobs", str(args.jobs)]
+        if args.no_cache:
+            argv.append("--no-cache")
+    elif args.jobs != 1 or args.no_cache:
+        raise SystemExit(f"--jobs/--no-cache only apply to "
+                         f"{sorted(ENGINE_EXPERIMENTS)}")
+    sys.argv = [args.name] + argv
     module.main()
     return 0
 
@@ -189,6 +203,11 @@ def build_parser() -> argparse.ArgumentParser:
                                         "fig9", "fig10", "fig11",
                                         "fig12", "ablations", "extended"])
     exp_p.add_argument("fidelity", nargs="?", choices=["smoke", "full"])
+    exp_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for engine-backed drivers "
+                            "(fig8-fig12, ablations)")
+    exp_p.add_argument("--no-cache", action="store_true",
+                       help="bypass the persistent result cache")
     exp_p.set_defaults(func=cmd_experiment)
 
     return parser

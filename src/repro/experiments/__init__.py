@@ -13,5 +13,22 @@ rows/series the paper reports, and a ``main()`` console entry point
 """
 
 from repro.experiments.configs import FidelityConfig, fidelity_config
+from repro.experiments.engine import (
+    Engine,
+    EngineStats,
+    Job,
+    JobResult,
+    SchemeSpec,
+    scheme_spec,
+)
 
-__all__ = ["FidelityConfig", "fidelity_config"]
+__all__ = [
+    "Engine",
+    "EngineStats",
+    "FidelityConfig",
+    "Job",
+    "JobResult",
+    "SchemeSpec",
+    "fidelity_config",
+    "scheme_spec",
+]

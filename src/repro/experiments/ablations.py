@@ -16,18 +16,20 @@ decisions it motivates:
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.analysis.montecarlo import flip_rate
-from repro.core import Shadow, ShadowConfig
-from repro.core.config import secure_raaimt
 from repro.core.pairing import ShadowTimings
 from repro.dram.subarray import SubarrayLayout
 from repro.dram.timing import DDR4_2666
 from repro.experiments.configs import DEFAULT_HCNT, fidelity_config
-from repro.experiments.report import format_table, save_results
+from repro.experiments.engine import Engine, WsRelativePlan, scheme_spec
+from repro.experiments.report import (
+    driver_arg_parser,
+    format_table,
+    save_results,
+)
 from repro.rowhammer.adversary import ScenarioIIAttacker
-from repro.sim.runner import ExperimentRunner
 from repro.utils.rng import SystemRng
 from repro.workloads import mix_high
 
@@ -73,30 +75,31 @@ def protection_ablation(trials: int = 40) -> Dict[str, float]:
     }
 
 
-def performance_ablation(fidelity: str) -> Dict[str, float]:
+def performance_ablation(fidelity: str,
+                         engine: Optional[Engine] = None
+                         ) -> Dict[str, float]:
     """Weighted-speedup impact of the microarchitecture options."""
     fc = fidelity_config(fidelity)
-    runner = ExperimentRunner(config=fc.system_config())
+    engine = engine or Engine()
+    plan = WsRelativePlan(fc.system_config())
     profiles = mix_high(fc.threads)
-    raaimt = secure_raaimt(DEFAULT_HCNT)
-
-    def shadow(**overrides) -> Shadow:
-        return Shadow(ShadowConfig(raaimt=raaimt, rng_kind="system",
-                                   **overrides))
-
-    return {
-        "full SHADOW": runner.relative_performance(profiles, shadow),
-        "no pairing": runner.relative_performance(
-            profiles, lambda: shadow(pairing=False)),
-        "no isolation": runner.relative_performance(
-            profiles, lambda: shadow(isolation=False)),
-        "LFSR RNG": runner.relative_performance(
-            profiles, lambda: Shadow(ShadowConfig(raaimt=raaimt,
-                                                  rng_kind="lfsr"))),
+    variants = {
+        "full SHADOW": scheme_spec("shadow-ablate", hcnt=DEFAULT_HCNT),
+        "no pairing": scheme_spec("shadow-ablate", hcnt=DEFAULT_HCNT,
+                                  pairing=False),
+        "no isolation": scheme_spec("shadow-ablate", hcnt=DEFAULT_HCNT,
+                                    isolation=False),
+        "LFSR RNG": scheme_spec("shadow-ablate", hcnt=DEFAULT_HCNT,
+                                rng_kind="lfsr"),
     }
+    for name, spec in variants.items():
+        plan.add(name, profiles, spec)
+    res = engine.run(plan.jobs)
+    return {name: plan.value(name, res) for name in variants}
 
 
-def run(fidelity: str = "smoke") -> Dict:
+def run(fidelity: str = "smoke", jobs: int = 1,
+        engine: Optional[Engine] = None) -> Dict:
     """Run all three ablation studies; returns the result dict."""
     return {
         "experiment": "ablations",
@@ -104,15 +107,16 @@ def run(fidelity: str = "smoke") -> Dict:
         "timing": timing_ablation(),
         "protection": protection_ablation(
             trials=40 if fidelity == "smoke" else 200),
-        "performance": performance_ablation(fidelity),
+        "performance": performance_ablation(
+            fidelity, engine=engine or Engine(jobs=jobs)),
     }
 
 
 def main() -> None:
     """Console entry point: print the ablation tables."""
-    import sys
-    fidelity = sys.argv[1] if len(sys.argv) > 1 else "full"
-    results = run(fidelity)
+    args = driver_arg_parser("ablations").parse_args()
+    engine = Engine(jobs=args.jobs, use_cache=not args.no_cache)
+    results = run(args.fidelity, jobs=args.jobs, engine=engine)
     rows = [[name, v["act_extra_cycles"], v["trcd_prime_ns"],
              v["rfm_work_ns"]]
             for name, v in results["timing"].items()]
@@ -127,7 +131,8 @@ def main() -> None:
     rows = [[k, v] for k, v in results["performance"].items()]
     print(format_table(["variant", "rel. weighted speedup"], rows,
                        title="Ablation: performance (mix-high)"))
-    print("saved:", save_results(f"ablations_{fidelity}", results))
+    print("engine:", engine.stats.summary())
+    print("saved:", save_results(f"ablations_{args.fidelity}", results))
 
 
 if __name__ == "__main__":

@@ -10,6 +10,7 @@ budgets and workload subsets.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.dram.device import DramGeometry
 from repro.dram.timing import DDR4_2666, DDR5_4800, TimingParams
@@ -34,12 +35,16 @@ class FidelityConfig:
     tracker_requests: int = 3000
 
     def system_config(self, timing: TimingParams = DDR4_2666,
-                      requests: int = None,
+                      requests: Optional[int] = None,
                       seed: int = 3) -> SystemConfig:
+        # `is not None` (not truthiness): an explicit ``requests=0`` must
+        # reach SystemConfig.__post_init__ and be rejected there, not be
+        # silently replaced by the fidelity default.
         return SystemConfig(
             geometry=DramGeometry(),     # paper Table IV organisation
             timing=timing,
-            requests_per_thread=requests or self.requests_per_thread,
+            requests_per_thread=(requests if requests is not None
+                                 else self.requests_per_thread),
             seed=seed,
         )
 

@@ -1,0 +1,393 @@
+"""Parallel, cached execution engine for the experiment drivers.
+
+Every figure sweep decomposes into independent full-system simulations:
+run ``System(profiles, scheme, config)`` and record the outcome.  The
+engine expresses each such simulation as a declarative :class:`Job`
+(profiles + a named :class:`SchemeSpec` + a ``SystemConfig``), then
+
+* **deduplicates** -- a baseline run shared by five schemes is
+  simulated once;
+* **caches** -- each job's result is content-addressed on disk under
+  ``results/.cache`` keyed by a stable hash of the job spec plus a
+  schema version, so re-running a sweep is near-instant and an
+  interrupted run resumes instead of restarting;
+* **parallelises** -- cache misses fan out across worker processes
+  (``--jobs N``); with ``jobs=1`` everything runs inline.
+
+Scheme factories are lambdas and cannot cross a process boundary, so a
+job carries a :class:`SchemeSpec` -- a registry name plus keyword
+parameters -- and each worker rebuilds the mitigation from the registry.
+The spec doubles as the scheme half of the cache key.
+
+Determinism is the invariant: ``System.run()`` is a pure function of the
+job spec (seeds included), so results with ``jobs=8`` are value-identical
+to ``jobs=1`` and to the pre-engine serial drivers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core import Shadow, ShadowConfig
+from repro.core.config import secure_raaimt
+from repro.experiments.schemes import (
+    BLOCKHAMMER_HISTORY_SCALE,
+    BLOCKHAMMER_RATE_SCALE,
+    make_shadow,
+    make_shadow_with_trcd,
+)
+from repro.mitigations import (
+    BlockHammer,
+    DoubleRefreshRate,
+    Mitigation,
+    NoMitigation,
+    Parfm,
+    RandomizedRowSwap,
+    mithril_area,
+    mithril_perf,
+)
+from repro.sim.metrics import relative_weighted_speedup
+from repro.sim.system import System, SystemConfig, SystemResult
+from repro.utils.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.workloads.trace import WorkloadProfile
+
+# -- scheme registry ---------------------------------------------------------------
+
+#: Builders the workers use to reconstruct a mitigation from its spec.
+SCHEME_BUILDERS: Dict[str, Callable[..., Mitigation]] = {
+    "none": NoMitigation,
+    "drr": DoubleRefreshRate,
+    "shadow": lambda hcnt, seed=1: make_shadow(hcnt, seed),
+    "shadow-trcd": lambda trcd, hcnt: make_shadow_with_trcd(trcd, hcnt),
+    "shadow-ablate": lambda hcnt, rng_kind="system", pairing=True,
+    isolation=True: Shadow(ShadowConfig(
+        raaimt=secure_raaimt(hcnt), rng_kind=rng_kind,
+        pairing=pairing, isolation=isolation)),
+    "parfm": lambda hcnt, radius=1: Parfm.for_hcnt(hcnt, radius),
+    "mithril-perf": lambda hcnt, radius=1: mithril_perf(hcnt, radius),
+    "mithril-area": lambda hcnt, radius=1: mithril_area(hcnt, radius),
+    "blockhammer": lambda hcnt, history_scale=1.0, rate_scale=1.0:
+        BlockHammer.for_hcnt(hcnt, history_scale=history_scale,
+                             rate_scale=rate_scale),
+    "rrs": lambda hcnt: RandomizedRowSwap.for_hcnt(hcnt),
+}
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """A mitigation named declaratively: registry kind + parameters.
+
+    Hashable, picklable and JSON-able -- the properties a lambda factory
+    lacks -- so it can ride in a job across process boundaries and into
+    the cache key.
+    """
+
+    kind: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in SCHEME_BUILDERS:
+            raise ValueError(f"unknown scheme kind {self.kind!r}; "
+                             f"choose from {sorted(SCHEME_BUILDERS)}")
+
+    def build(self) -> Mitigation:
+        """A fresh mitigation instance (per-run state never shared)."""
+        return SCHEME_BUILDERS[self.kind](**dict(self.params))
+
+    def payload(self) -> Dict:
+        """The cache-key fragment for this scheme."""
+        return {"kind": self.kind, "params": dict(self.params)}
+
+
+def scheme_spec(kind: str, **params: Any) -> SchemeSpec:
+    """Convenience constructor with keyword parameters."""
+    return SchemeSpec(kind, tuple(sorted(params.items())))
+
+
+#: The unprotected baseline every figure normalises against.
+BASELINE = scheme_spec("none")
+
+
+def rfm_scheme_specs(hcnt: int,
+                     blast_radius: int = 1) -> Dict[str, SchemeSpec]:
+    """Spec form of the Figure 8/10 comparison set."""
+    return {
+        "SHADOW": scheme_spec("shadow", hcnt=hcnt),
+        "PARFM": scheme_spec("parfm", hcnt=hcnt, radius=blast_radius),
+        "Mithril-perf": scheme_spec("mithril-perf", hcnt=hcnt,
+                                    radius=blast_radius),
+        "Mithril-area": scheme_spec("mithril-area", hcnt=hcnt,
+                                    radius=blast_radius),
+        "DRR": scheme_spec("drr"),
+    }
+
+
+def archsim_scheme_specs(hcnt: int) -> Dict[str, SchemeSpec]:
+    """Spec form of the Figure 11 comparison set."""
+    return {
+        "SHADOW": scheme_spec("shadow", hcnt=hcnt),
+        "BlockHammer": scheme_spec(
+            "blockhammer", hcnt=hcnt,
+            history_scale=BLOCKHAMMER_HISTORY_SCALE,
+            rate_scale=BLOCKHAMMER_RATE_SCALE),
+        "RRS": scheme_spec("rrs", hcnt=hcnt),
+    }
+
+
+# -- jobs and results --------------------------------------------------------------
+
+@dataclass(frozen=True, eq=False)
+class Job:
+    """One independent simulation: profiles x scheme x configuration."""
+
+    profiles: Tuple[WorkloadProfile, ...]
+    scheme: SchemeSpec
+    config: SystemConfig
+
+    def __post_init__(self) -> None:
+        if not self.profiles:
+            raise ValueError("a job needs at least one workload profile")
+
+    @cached_property
+    def spec(self) -> Dict:
+        """The JSON-able cache key (identity) of this job."""
+        return {
+            "profiles": [dataclasses.asdict(p) for p in self.profiles],
+            "scheme": self.scheme.payload(),
+            "config": dataclasses.asdict(self.config),
+        }
+
+    @cached_property
+    def _identity(self) -> str:
+        from repro.utils.cache import canonical_json
+        return canonical_json(self.spec)
+
+    def __hash__(self) -> int:
+        return hash(self._identity)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Job) and self._identity == other._identity
+
+
+def alone_job(profile: WorkloadProfile, scheme: SchemeSpec,
+              config: SystemConfig) -> Job:
+    """A single-thread run (the alone time of weighted speedup)."""
+    return Job((profile,), scheme, config)
+
+
+def shared_job(profiles: Sequence[WorkloadProfile], scheme: SchemeSpec,
+               config: SystemConfig) -> Job:
+    """A multi-thread shared run."""
+    return Job(tuple(profiles), scheme, config)
+
+
+@dataclass
+class JobResult:
+    """The JSON-serialisable slice of a run the figures consume."""
+
+    cycles: int
+    thread_finish_cycles: List[int]
+    reads_completed: int
+    requests_issued: int
+    refreshes: int
+    rfms: int
+    mitigation_name: str
+    tck_ns: float
+    acts: int
+    precharges: int
+    reads: int
+    writes: int
+    row_hits: int
+    row_misses: int
+    row_conflicts: int
+    extra_act_cycles: int
+
+    @property
+    def finish_ns(self) -> List[float]:
+        return [c * self.tck_ns for c in self.thread_finish_cycles]
+
+    @classmethod
+    def from_system_result(cls, result: SystemResult) -> "JobResult":
+        stats = result.stats
+        return cls(
+            cycles=result.cycles,
+            thread_finish_cycles=list(result.thread_finish_cycles),
+            reads_completed=result.reads_completed,
+            requests_issued=result.requests_issued,
+            refreshes=result.refreshes,
+            rfms=result.rfms,
+            mitigation_name=result.mitigation_name,
+            tck_ns=result.tck_ns,
+            acts=stats.acts,
+            precharges=stats.precharges,
+            reads=stats.reads,
+            writes=stats.writes,
+            row_hits=stats.row_hits,
+            row_misses=stats.row_misses,
+            row_conflicts=stats.row_conflicts,
+            extra_act_cycles=stats.extra_act_cycles,
+        )
+
+    def to_dict(self) -> Dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "JobResult":
+        return cls(**payload)
+
+
+def _execute(job: Job) -> Dict:
+    """Worker entry point: simulate one job (module-level for pickling)."""
+    system = System(list(job.profiles), job.scheme.build(),
+                    config=job.config)
+    return JobResult.from_system_result(system.run()).to_dict()
+
+
+# -- the engine --------------------------------------------------------------------
+
+@dataclass
+class EngineStats:
+    """What one engine did, for the drivers' summary line."""
+
+    submitted: int = 0       # jobs requested (before dedup)
+    unique: int = 0          # distinct simulations needed
+    cache_hits: int = 0      # served from the on-disk store
+    executed: int = 0        # actually simulated this run
+
+    def summary(self) -> str:
+        return (f"{self.submitted} jobs ({self.unique} unique): "
+                f"{self.cache_hits} cache hits, {self.executed} executed")
+
+
+class Engine:
+    """Runs jobs with deduplication, persistent caching and workers."""
+
+    def __init__(self, jobs: int = 1,
+                 cache_dir: Optional[str] = DEFAULT_CACHE_DIR,
+                 use_cache: bool = True):
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.max_workers = jobs
+        self.cache = (ResultCache(cache_dir)
+                      if use_cache and cache_dir else None)
+        self.stats = EngineStats()
+
+    def run(self, jobs: Iterable[Job]) -> Dict[Job, JobResult]:
+        """Execute every job; returns ``{job: result}``.
+
+        Input order is irrelevant to the values (each job is an
+        independent deterministic simulation), so any worker count
+        produces identical results.
+        """
+        ordered: List[Job] = []
+        seen = set()
+        submitted = 0
+        for job in jobs:
+            submitted += 1
+            if job not in seen:
+                seen.add(job)
+                ordered.append(job)
+        self.stats.submitted += submitted
+        self.stats.unique += len(ordered)
+
+        results: Dict[Job, JobResult] = {}
+        pending: List[Job] = []
+        for job in ordered:
+            cached = self.cache.get(job.spec) if self.cache else None
+            if cached is not None:
+                results[job] = JobResult.from_dict(cached)
+                self.stats.cache_hits += 1
+            else:
+                pending.append(job)
+
+        if pending:
+            if self.max_workers == 1 or len(pending) == 1:
+                payloads = map(_execute, pending)
+            else:
+                workers = min(self.max_workers, len(pending))
+                pool = ProcessPoolExecutor(max_workers=workers)
+                payloads = pool.map(_execute, pending)
+            try:
+                for job, payload in zip(pending, payloads):
+                    results[job] = JobResult.from_dict(payload)
+                    if self.cache:
+                        self.cache.put(job.spec, payload)
+                    self.stats.executed += 1
+            finally:
+                if self.max_workers > 1 and len(pending) > 1:
+                    pool.shutdown()
+        return results
+
+
+# -- metric plans ------------------------------------------------------------------
+
+class WsRelativePlan:
+    """Bookkeeping for WS(scheme)/WS(baseline) ratios (Figures 8-11).
+
+    ``add`` registers a labelled (profiles, scheme) pair and derives the
+    three job groups the ratio needs -- per-profile alone runs under the
+    baseline, the shared scheme run, the shared baseline run.  ``jobs``
+    is the deduplicated union, ready for :meth:`Engine.run`; ``value``
+    assembles each label's ratio from the results.
+
+    Both weighted speedups use the *baseline system's* alone times as
+    the IPC_alone reference (the conventional normalisation); using each
+    scheme's own alone times would let a scheme that slows solo
+    execution paradoxically raise its ratio above 1.
+    """
+
+    def __init__(self, config: SystemConfig,
+                 baseline: SchemeSpec = BASELINE):
+        self.config = config
+        self.baseline = baseline
+        self._entries: Dict[Any, Tuple[Tuple[Job, ...], Job, Job]] = {}
+        self._jobs: Dict[Job, None] = {}
+
+    def _register(self, job: Job) -> Job:
+        self._jobs.setdefault(job, None)
+        return job
+
+    def add(self, label: Any, profiles: Sequence[WorkloadProfile],
+            scheme: SchemeSpec) -> None:
+        profiles = tuple(profiles)
+        alone = tuple(
+            self._register(alone_job(p, self.baseline, self.config))
+            for p in profiles)
+        shared_scheme = self._register(
+            shared_job(profiles, scheme, self.config))
+        shared_base = self._register(
+            shared_job(profiles, self.baseline, self.config))
+        self._entries[label] = (alone, shared_scheme, shared_base)
+
+    @property
+    def jobs(self) -> List[Job]:
+        return list(self._jobs)
+
+    def value(self, label: Any, results: Dict[Job, JobResult]) -> float:
+        alone, shared_scheme, shared_base = self._entries[label]
+        alone_cycles = [results[j].thread_finish_cycles[0] for j in alone]
+        return relative_weighted_speedup(
+            alone_cycles,
+            results[shared_scheme].thread_finish_cycles,
+            results[shared_base].thread_finish_cycles)
+
+
+__all__ = [
+    "BASELINE",
+    "Engine",
+    "EngineStats",
+    "Job",
+    "JobResult",
+    "SCHEME_BUILDERS",
+    "SchemeSpec",
+    "WsRelativePlan",
+    "alone_job",
+    "archsim_scheme_specs",
+    "rfm_scheme_specs",
+    "scheme_spec",
+    "shared_job",
+]

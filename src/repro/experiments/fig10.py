@@ -5,62 +5,77 @@ mitigating action is radius-independent (the shuffle relocates the
 aggressor); PARFM and Mithril must refresh ``2 x radius`` victims per
 RFM and derate their RAAIMT by the blast weight, so their overhead
 grows with the radius and SHADOW overtakes them past radius 2.
+
+Runs on the experiment engine; note that SHADOW's jobs are literally
+identical across radii, so the engine simulates them once.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.experiments.configs import fidelity_config
-from repro.experiments.report import format_table, save_results
-from repro.experiments.schemes import make_shadow
-from repro.mitigations import Parfm, mithril_area
-from repro.sim.runner import ExperimentRunner
+from repro.experiments.engine import Engine, WsRelativePlan, scheme_spec
+from repro.experiments.report import (
+    driver_arg_parser,
+    format_table,
+    save_results,
+)
 from repro.workloads import mix_blend, mix_high
 
 RADII = (1, 2, 3, 4, 5)
 FIXED_HCNT = 2048
 
 
-def run(fidelity: str = "smoke", hcnt: int = FIXED_HCNT) -> Dict:
+def run(fidelity: str = "smoke", hcnt: int = FIXED_HCNT,
+        jobs: int = 1, engine: Optional[Engine] = None) -> Dict:
     """Run the experiment; returns the figure's series as a dict."""
     fc = fidelity_config(fidelity)
-    runner = ExperimentRunner(
-        config=fc.system_config(requests=fc.tracker_requests))
+    engine = engine or Engine(jobs=jobs)
+    plan = WsRelativePlan(
+        fc.system_config(requests=fc.tracker_requests))
     threads = fc.tracker_threads
     radii = RADII if fidelity == "full" else (1, 3, 5)
     mixes = (("mix-high", mix_high(threads)),
              ("mix-blend", mix_blend(threads)))
     if fidelity != "full":
         mixes = mixes[:1]
-    series: Dict[str, Dict[str, float]] = {}
     for mix_name, profiles in mixes:
         for radius in radii:
             schemes = {
-                "SHADOW": lambda: make_shadow(hcnt),
-                "PARFM": lambda: Parfm.for_hcnt(hcnt, radius),
-                "Mithril": lambda: mithril_area(hcnt, radius),
+                "SHADOW": scheme_spec("shadow", hcnt=hcnt),
+                "PARFM": scheme_spec("parfm", hcnt=hcnt, radius=radius),
+                "Mithril": scheme_spec("mithril-area", hcnt=hcnt,
+                                       radius=radius),
             }
-            for name, factory in schemes.items():
+            for name, spec in schemes.items():
+                plan.add((mix_name, name, radius), profiles, spec)
+    res = engine.run(plan.jobs)
+    series: Dict[str, Dict[str, float]] = {}
+    for mix_name, _profiles in mixes:
+        for radius in radii:
+            for name in ("SHADOW", "PARFM", "Mithril"):
                 series.setdefault(f"{mix_name}/{name}", {})[str(radius)] = \
-                    runner.relative_performance(profiles, factory)
+                    plan.value((mix_name, name, radius), res)
     return {"experiment": "fig10", "fidelity": fidelity, "hcnt": hcnt,
             "series": series, "radii": list(radii)}
 
 
 def main() -> None:
     """Console entry point: print the regenerated figure series."""
-    import sys
-    fidelity = sys.argv[1] if len(sys.argv) > 1 else "full"
-    results = run(fidelity)
+    args = driver_arg_parser("fig10").parse_args()
+    engine = Engine(jobs=args.jobs, use_cache=not args.no_cache)
+    results = run(args.fidelity, jobs=args.jobs, engine=engine)
     radii = results["radii"]
     rows = [[key] + [vals[str(r)] for r in radii]
             for key, vals in results["series"].items()]
     print(format_table(
         ["series"] + [f"radius={r}" for r in radii], rows,
         title=f"Figure 10: blast-radius sensitivity, weighted speedup "
-              f"relative to baseline (Hcnt={results['hcnt']}, {fidelity})"))
-    print("saved:", save_results(f"fig10_{fidelity}", results))
+              f"relative to baseline (Hcnt={results['hcnt']}, "
+              f"{args.fidelity})"))
+    print("engine:", engine.stats.summary())
+    print("saved:", save_results(f"fig10_{args.fidelity}", results))
 
 
 if __name__ == "__main__":

@@ -6,24 +6,36 @@ selectable).  The expected shape: SHADOW stays within a few percent
 everywhere; RRS collapses at low thresholds (channel-blocking swaps);
 BlockHammer collapses at low thresholds (throttle delays + blacklist
 misidentification).
+
+Runs on the experiment engine (deduplicated jobs, persistent cache,
+``--jobs`` workers).
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.experiments.configs import HCNT_SWEEP, fidelity_config
-from repro.experiments.report import format_table, save_results
-from repro.experiments.schemes import archsim_scheme_factories
-from repro.sim.runner import ExperimentRunner
+from repro.experiments.engine import (
+    Engine,
+    WsRelativePlan,
+    archsim_scheme_specs,
+)
+from repro.experiments.report import (
+    driver_arg_parser,
+    format_table,
+    save_results,
+)
 from repro.workloads import mix_blend, mix_high, mix_random
 
 
-def run(fidelity: str = "smoke") -> Dict:
+def run(fidelity: str = "smoke", jobs: int = 1,
+        engine: Optional[Engine] = None) -> Dict:
     """Run the experiment; returns the figure's series as a dict."""
     fc = fidelity_config(fidelity)
-    runner = ExperimentRunner(
-        config=fc.system_config(requests=fc.tracker_requests))
+    engine = engine or Engine(jobs=jobs)
+    plan = WsRelativePlan(
+        fc.system_config(requests=fc.tracker_requests))
     threads = fc.tracker_threads
     mixes = {
         "mix-high": [mix_high(threads)],
@@ -33,12 +45,18 @@ def run(fidelity: str = "smoke") -> Dict:
         mixes["mix-random"] = [mix_random(seed, threads)
                                for seed in range(1, fc.mix_random_count + 1)]
     sweep = HCNT_SWEEP if fidelity == "full" else (16384, 4096, 2048)
+    for mix_name, variants in mixes.items():
+        for hcnt in sweep:
+            for name, spec in archsim_scheme_specs(hcnt).items():
+                for i, profiles in enumerate(variants):
+                    plan.add((mix_name, hcnt, name, i), profiles, spec)
+    res = engine.run(plan.jobs)
     series: Dict[str, Dict[str, float]] = {}
     for mix_name, variants in mixes.items():
         for hcnt in sweep:
-            for name, factory in archsim_scheme_factories(hcnt).items():
-                rels = [runner.relative_performance(profiles, factory)
-                        for profiles in variants]
+            for name in archsim_scheme_specs(hcnt):
+                rels = [plan.value((mix_name, hcnt, name, i), res)
+                        for i in range(len(variants))]
                 series.setdefault(f"{mix_name}/{name}", {})[str(hcnt)] = \
                     sum(rels) / len(rels)
     return {"experiment": "fig11", "fidelity": fidelity, "series": series,
@@ -47,17 +65,18 @@ def run(fidelity: str = "smoke") -> Dict:
 
 def main() -> None:
     """Console entry point: print the regenerated figure series."""
-    import sys
-    fidelity = sys.argv[1] if len(sys.argv) > 1 else "full"
-    results = run(fidelity)
+    args = driver_arg_parser("fig11").parse_args()
+    engine = Engine(jobs=args.jobs, use_cache=not args.no_cache)
+    results = run(args.fidelity, jobs=args.jobs, engine=engine)
     hcnts = [str(h) for h in results["hcnt_sweep"]]
     rows = [[key] + [vals[h] for h in hcnts]
             for key, vals in results["series"].items()]
     print(format_table(
         ["series"] + [f"Hcnt={h}" for h in hcnts], rows,
         title=f"Figure 11: SHADOW vs BlockHammer vs RRS, weighted "
-              f"speedup relative to baseline ({fidelity})"))
-    print("saved:", save_results(f"fig11_{fidelity}", results))
+              f"speedup relative to baseline ({args.fidelity})"))
+    print("engine:", engine.stats.summary())
+    print("saved:", save_results(f"fig11_{args.fidelity}", results))
 
 
 if __name__ == "__main__":

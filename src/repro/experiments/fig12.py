@@ -4,42 +4,62 @@ Runs SHADOW and the baseline on mix-high / mix-blend across the H_cnt
 sweep, feeds the measured command counts into the IDD power model, and
 reports (a) system power relative to baseline and (b) the number of
 RFMs normalized to the number of refreshes.
+
+Runs on the experiment engine; the simulations (one baseline plus one
+SHADOW run per mix and threshold) are cached and fanned out, the power
+model is evaluated inline on their command counts.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.analysis.power import CommandCounts, SystemPowerModel
 from repro.experiments.configs import HCNT_SWEEP, fidelity_config
-from repro.experiments.report import format_table, save_results
-from repro.experiments.schemes import NoMitigation, make_shadow
-from repro.sim.system import System
+from repro.experiments.engine import (
+    BASELINE,
+    Engine,
+    JobResult,
+    scheme_spec,
+    shared_job,
+)
+from repro.experiments.report import (
+    driver_arg_parser,
+    format_table,
+    save_results,
+)
 from repro.workloads import mix_blend, mix_high
 
 
-def _counts(result) -> CommandCounts:
+def _counts(result: JobResult) -> CommandCounts:
     return CommandCounts(
-        acts=result.stats.acts, reads=result.stats.reads,
-        writes=result.stats.writes, refreshes=result.refreshes,
+        acts=result.acts, reads=result.reads,
+        writes=result.writes, refreshes=result.refreshes,
         rfms=result.rfms, elapsed_cycles=max(1, result.cycles))
 
 
-def run(fidelity: str = "smoke") -> Dict:
+def run(fidelity: str = "smoke", jobs: int = 1,
+        engine: Optional[Engine] = None) -> Dict:
     """Run the experiment; returns the figure's series as a dict."""
     fc = fidelity_config(fidelity)
+    engine = engine or Engine(jobs=jobs)
     config = fc.system_config()
     power = SystemPowerModel(cpu_tdp_w=165.0, devices=32,
                              timing=config.timing)
-    series: Dict[str, Dict[str, float]] = {}
-    for mix_name, profiles in (("mix-high", mix_high(fc.threads)),
-                               ("mix-blend", mix_blend(fc.threads))):
-        base = System(profiles, NoMitigation(), config=config).run()
-        base_counts = _counts(base)
+    mixes = (("mix-high", mix_high(fc.threads)),
+             ("mix-blend", mix_blend(fc.threads)))
+    grid = {}
+    for mix_name, profiles in mixes:
+        grid[mix_name, "base"] = shared_job(profiles, BASELINE, config)
         for hcnt in HCNT_SWEEP:
-            shadow = System(profiles, make_shadow(hcnt),
-                            config=config).run()
-            counts = _counts(shadow)
+            grid[mix_name, hcnt] = shared_job(
+                profiles, scheme_spec("shadow", hcnt=hcnt), config)
+    res = engine.run(grid.values())
+    series: Dict[str, Dict[str, float]] = {}
+    for mix_name, _profiles in mixes:
+        base_counts = _counts(res[grid[mix_name, "base"]])
+        for hcnt in HCNT_SWEEP:
+            counts = _counts(res[grid[mix_name, hcnt]])
             rel = power.relative_power(counts, base_counts, shadow=True)
             ratio = counts.rfms / max(1, counts.refreshes)
             series.setdefault(f"{mix_name}/relative-power", {})[
@@ -51,17 +71,18 @@ def run(fidelity: str = "smoke") -> Dict:
 
 def main() -> None:
     """Console entry point: print the regenerated figure series."""
-    import sys
-    fidelity = sys.argv[1] if len(sys.argv) > 1 else "full"
-    results = run(fidelity)
+    args = driver_arg_parser("fig12").parse_args()
+    engine = Engine(jobs=args.jobs, use_cache=not args.no_cache)
+    results = run(args.fidelity, jobs=args.jobs, engine=engine)
     hcnts = [str(h) for h in HCNT_SWEEP]
     rows = [[key] + [f"{vals[h]:.5f}" for h in hcnts]
             for key, vals in results["series"].items()]
     print(format_table(
         ["series"] + [f"Hcnt={h}" for h in hcnts], rows,
         title=f"Figure 12: SHADOW relative system power and RFM/REF "
-              f"ratio ({fidelity})"))
-    print("saved:", save_results(f"fig12_{fidelity}", results))
+              f"ratio ({args.fidelity})"))
+    print("engine:", engine.stats.summary())
+    print("saved:", save_results(f"fig12_{args.fidelity}", results))
 
 
 if __name__ == "__main__":

@@ -4,17 +4,31 @@ Single-threaded SPEC groups (HIGH/MED/LOW, reciprocal execution time),
 multi-threaded GAPBS and NPB, and the mix-high/mix-blend multi-
 programmed mixes (weighted speedup), all normalized to the unprotected
 baseline at the paper's default H_cnt of 4K.
+
+Runs on the experiment engine: the whole grid is enumerated as
+independent jobs up front, deduplicated, served from the persistent
+result cache where possible, and fanned out across ``--jobs`` worker
+processes otherwise.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.experiments.configs import DEFAULT_HCNT, fidelity_config
-from repro.experiments.report import format_table, save_results
-from repro.experiments.schemes import NoMitigation, rfm_scheme_factories
-from repro.sim.runner import ExperimentRunner
-from repro.sim.system import System
+from repro.experiments.engine import (
+    BASELINE,
+    Engine,
+    WsRelativePlan,
+    alone_job,
+    rfm_scheme_specs,
+    shared_job,
+)
+from repro.experiments.report import (
+    driver_arg_parser,
+    format_table,
+    save_results,
+)
 from repro.workloads import (
     GAPBS_PROFILES,
     NPB_PROFILES,
@@ -24,57 +38,85 @@ from repro.workloads import (
 )
 
 
-def _multithread_relative(profile, threads, make_scheme, config) -> float:
-    """Reciprocal execution time of a homogeneous multi-threaded run."""
-    base = System([profile] * threads, NoMitigation(), config=config).run()
-    scheme = System([profile] * threads, make_scheme(), config=config).run()
-    return max(base.thread_finish_cycles) / max(scheme.thread_finish_cycles)
-
-
-def run(fidelity: str = "smoke", hcnt: int = DEFAULT_HCNT) -> Dict:
+def run(fidelity: str = "smoke", hcnt: int = DEFAULT_HCNT,
+        jobs: int = 1, engine: Optional[Engine] = None) -> Dict:
     """Run the experiment; returns the figure's series as a dict."""
     fc = fidelity_config(fidelity)
-    schemes = rfm_scheme_factories(hcnt)
-    results: Dict[str, Dict[str, float]] = {name: {} for name in schemes}
+    engine = engine or Engine(jobs=jobs)
+    schemes = rfm_scheme_specs(hcnt)
 
-    # Single-threaded SPEC groups.
-    st_runner = ExperimentRunner(
-        config=fc.system_config(requests=fc.single_thread_requests))
+    # ---- enumerate the grid as jobs ----------------------------------------------
+    all_jobs = []
+
+    # Single-threaded SPEC groups: reciprocal execution time of alone
+    # runs, scheme vs baseline.
+    st_config = fc.system_config(requests=fc.single_thread_requests)
+    st_cells = {}   # (scheme, group) -> [(scheme_job, base_job), ...]
     for group in ("high", "med", "low"):
         profiles = spec_group(group)
-        for name, factory in schemes.items():
-            rels = [st_runner.single_thread_relative(p, factory)
-                    for p in profiles]
-            results[name][f"spec-{group}"] = sum(rels) / len(rels)
+        for name, spec in schemes.items():
+            st_cells[name, group] = [
+                (alone_job(p, spec, st_config),
+                 alone_job(p, BASELINE, st_config))
+                for p in profiles]
+    all_jobs += [j for pairs in st_cells.values()
+                 for pair in pairs for j in pair]
 
-    # Multi-threaded suites.
+    # Multi-threaded suites: reciprocal execution time of homogeneous
+    # shared runs (slowest thread), scheme vs baseline.
     mt_config = fc.system_config()
+    mt_cells = {}   # (scheme, suite) -> [(scheme_job, base_job), ...]
     for suite_name, suite in (("gapbs", GAPBS_PROFILES),
                               ("npb", NPB_PROFILES)):
         apps = sorted(suite)[:fc.apps_per_suite]
-        for name, factory in schemes.items():
-            rels = [_multithread_relative(suite[a], fc.mt_threads,
-                                          factory, mt_config)
-                    for a in apps]
-            results[name][suite_name] = sum(rels) / len(rels)
+        for name, spec in schemes.items():
+            mt_cells[name, suite_name] = [
+                (shared_job([suite[a]] * fc.mt_threads, spec, mt_config),
+                 shared_job([suite[a]] * fc.mt_threads, BASELINE,
+                            mt_config))
+                for a in apps]
+    all_jobs += [j for pairs in mt_cells.values()
+                 for pair in pairs for j in pair]
 
-    # Multi-programmed mixes (weighted speedup).
-    mix_runner = ExperimentRunner(config=fc.system_config())
+    # Multi-programmed mixes: weighted speedup relative to baseline.
+    mix_plan = WsRelativePlan(fc.system_config())
     for mix_name, profiles in (("mix-high", mix_high(fc.threads)),
                                ("mix-blend", mix_blend(fc.threads))):
-        for name, factory in schemes.items():
-            results[name][mix_name] = mix_runner.relative_performance(
-                profiles, factory)
+        for name, spec in schemes.items():
+            mix_plan.add((name, mix_name), profiles, spec)
+    all_jobs += mix_plan.jobs
 
+    # ---- execute and assemble ----------------------------------------------------
+    res = engine.run(all_jobs)
+    results: Dict[str, Dict[str, float]] = {name: {} for name in schemes}
+    for (name, group), pairs in st_cells.items():
+        rels = [res[base].thread_finish_cycles[0]
+                / res[scheme].thread_finish_cycles[0]
+                for scheme, base in pairs]
+        results[name][f"spec-{group}"] = sum(rels) / len(rels)
+    for (name, suite_name), pairs in mt_cells.items():
+        rels = [max(res[base].thread_finish_cycles)
+                / max(res[scheme].thread_finish_cycles)
+                for scheme, base in pairs]
+        results[name][suite_name] = sum(rels) / len(rels)
+    for name in schemes:
+        for mix_name in ("mix-high", "mix-blend"):
+            results[name][mix_name] = mix_plan.value((name, mix_name), res)
+
+    # Column order matches the paper (and the pre-engine driver).
+    order = ["spec-high", "spec-med", "spec-low", "gapbs", "npb",
+             "mix-high", "mix-blend"]
+    results = {name: {w: results[name][w] for w in order}
+               for name in results}
     return {"experiment": "fig8", "fidelity": fidelity, "hcnt": hcnt,
             "relative_performance": results}
 
 
 def main() -> None:
     """Console entry point: print the regenerated figure series."""
-    import sys
-    fidelity = sys.argv[1] if len(sys.argv) > 1 else "full"
-    results = run(fidelity)
+    args = driver_arg_parser("fig8").parse_args()
+    engine = Engine(jobs=args.jobs, use_cache=not args.no_cache)
+    results = run(args.fidelity, jobs=args.jobs, engine=engine)
     series = results["relative_performance"]
     workloads = list(next(iter(series.values())))
     rows = [[name] + [series[name][w] for w in workloads]
@@ -82,8 +124,9 @@ def main() -> None:
     print(format_table(
         ["scheme"] + workloads, rows,
         title=f"Figure 8: performance relative to no-mitigation "
-              f"(Hcnt={results['hcnt']}, {fidelity})"))
-    print("saved:", save_results(f"fig8_{fidelity}", results))
+              f"(Hcnt={results['hcnt']}, {args.fidelity})"))
+    print("engine:", engine.stats.summary())
+    print("saved:", save_results(f"fig8_{args.fidelity}", results))
 
 
 if __name__ == "__main__":

@@ -2,53 +2,63 @@
 
 Sweeps SHADOW's effective tRCD' over {23, 25, 27} tCK (the default is
 25) against the no-mitigation baseline at 19 tCK, across H_cnt from 16K
-to 2K on mix-high and mix-blend.
+to 2K on mix-high and mix-blend.  Runs on the experiment engine
+(deduplicated jobs, persistent cache, ``--jobs`` workers).
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.experiments.configs import HCNT_SWEEP, fidelity_config
-from repro.experiments.report import format_table, save_results
-from repro.experiments.schemes import make_shadow_with_trcd
-from repro.sim.runner import ExperimentRunner
+from repro.experiments.engine import Engine, WsRelativePlan, scheme_spec
+from repro.experiments.report import (
+    driver_arg_parser,
+    format_table,
+    save_results,
+)
 from repro.workloads import mix_blend, mix_high
 
 TRCD_VALUES = (23, 25, 27)
 
 
-def run(fidelity: str = "smoke") -> Dict:
+def run(fidelity: str = "smoke", jobs: int = 1,
+        engine: Optional[Engine] = None) -> Dict:
     """Run the experiment; returns the figure's series as a dict."""
     fc = fidelity_config(fidelity)
-    runner = ExperimentRunner(config=fc.system_config())
-    series: Dict[str, Dict[str, float]] = {}
+    engine = engine or Engine(jobs=jobs)
+    plan = WsRelativePlan(fc.system_config())
     for mix_name, profiles in (("mix-high", mix_high(fc.threads)),
                                ("mix-blend", mix_blend(fc.threads))):
         for trcd in TRCD_VALUES:
-            key = f"{mix_name}/tRCD{trcd}"
-            series[key] = {}
             for hcnt in HCNT_SWEEP:
-                rel = runner.relative_performance(
-                    profiles,
-                    lambda: make_shadow_with_trcd(trcd, hcnt))
-                series[key][str(hcnt)] = rel
+                plan.add((mix_name, trcd, hcnt), profiles,
+                         scheme_spec("shadow-trcd", trcd=trcd, hcnt=hcnt))
+    res = engine.run(plan.jobs)
+    series: Dict[str, Dict[str, float]] = {}
+    for mix_name in ("mix-high", "mix-blend"):
+        for trcd in TRCD_VALUES:
+            key = f"{mix_name}/tRCD{trcd}"
+            series[key] = {
+                str(hcnt): plan.value((mix_name, trcd, hcnt), res)
+                for hcnt in HCNT_SWEEP}
     return {"experiment": "fig9", "fidelity": fidelity, "series": series}
 
 
 def main() -> None:
     """Console entry point: print the regenerated figure series."""
-    import sys
-    fidelity = sys.argv[1] if len(sys.argv) > 1 else "full"
-    results = run(fidelity)
+    args = driver_arg_parser("fig9").parse_args()
+    engine = Engine(jobs=args.jobs, use_cache=not args.no_cache)
+    results = run(args.fidelity, jobs=args.jobs, engine=engine)
     hcnts = [str(h) for h in HCNT_SWEEP]
     rows = [[key] + [vals[h] for h in hcnts]
             for key, vals in results["series"].items()]
     print(format_table(
         ["series"] + [f"Hcnt={h}" for h in hcnts], rows,
         title=f"Figure 9: SHADOW tRCD sensitivity, weighted speedup "
-              f"relative to tRCD19 baseline ({fidelity})"))
-    print("saved:", save_results(f"fig9_{fidelity}", results))
+              f"relative to tRCD19 baseline ({args.fidelity})"))
+    print("engine:", engine.stats.summary())
+    print("saved:", save_results(f"fig9_{args.fidelity}", results))
 
 
 if __name__ == "__main__":

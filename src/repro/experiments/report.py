@@ -1,10 +1,27 @@
-"""Uniform result printing and persistence for the experiment drivers."""
+"""Uniform result printing, persistence and CLI plumbing for the
+experiment drivers."""
 
 from __future__ import annotations
 
+import argparse
 import json
 import pathlib
 from typing import Dict, List, Optional, Sequence
+
+
+def driver_arg_parser(name: str) -> argparse.ArgumentParser:
+    """The shared command line of the engine-backed figure drivers."""
+    parser = argparse.ArgumentParser(
+        prog=name, description=f"regenerate the {name} series")
+    parser.add_argument("fidelity", nargs="?", default="full",
+                        choices=("smoke", "full"),
+                        help="run scale (default: full)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the simulation grid "
+                             "(default: 1, run inline)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not write results/.cache")
+    return parser
 
 
 def format_table(headers: Sequence[str], rows: List[Sequence],

@@ -4,17 +4,28 @@ Weighted speedup needs each thread's alone execution time under each
 scheme.  Mixes reuse a handful of distinct profiles, and alone times
 depend only on (profile, scheme timing effects), so the runner caches
 them aggressively -- this is what makes the figure sweeps tractable.
+
+Two cache layers back ``run_alone``: a per-runner in-memory dict, and
+(optionally) the same content-addressed on-disk store the experiment
+engine uses (:class:`repro.utils.cache.ResultCache`), so alone times
+survive across processes and invocations.
+
+The figure drivers themselves run on :mod:`repro.experiments.engine`,
+which parallelises and caches whole grids; this runner remains the
+convenient in-process API for ad-hoc comparisons and tests.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import dataclasses
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.mitigations.base import Mitigation
 from repro.mitigations.none import NoMitigation
 from repro.sim.metrics import weighted_speedup
 from repro.sim.system import System, SystemConfig, SystemResult
+from repro.utils.cache import ResultCache
 from repro.workloads.trace import WorkloadProfile
 
 #: A factory is needed (not an instance) because mitigations carry
@@ -42,7 +53,30 @@ class ExperimentRunner:
     """Runs (profiles x scheme) pairs with per-profile alone caching."""
 
     config: SystemConfig = field(default_factory=SystemConfig)
+    #: Optional persistent store shared with the experiment engine.
+    cache: Optional[ResultCache] = None
     _alone_cache: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    #: Scheme names memoised per factory so resolving a cache key does
+    #: not construct (and discard) a full mitigation -- remapping
+    #: tables, trackers -- on every call.
+    _factory_names: Dict[MitigationFactory, str] = field(
+        default_factory=dict)
+
+    def _scheme_name(self, make_mitigation: MitigationFactory) -> str:
+        name = self._factory_names.get(make_mitigation)
+        if name is None:
+            name = make_mitigation().name
+            self._factory_names[make_mitigation] = name
+        return name
+
+    def _alone_spec(self, profile: WorkloadProfile, scheme_name: str):
+        """Disk-cache key for one alone run (runner-namespaced)."""
+        return {
+            "mode": "runner-alone",
+            "profile": dataclasses.asdict(profile),
+            "scheme": scheme_name,
+            "config": dataclasses.asdict(self.config),
+        }
 
     def run_shared(self, profiles: List[WorkloadProfile],
                    make_mitigation: MitigationFactory,
@@ -54,13 +88,22 @@ class ExperimentRunner:
     def run_alone(self, profile: WorkloadProfile,
                   make_mitigation: MitigationFactory) -> int:
         """Single-thread finish time, cached by (profile, scheme)."""
-        probe = make_mitigation()
-        key = (profile.name, probe.name)
+        key = (profile.name, self._scheme_name(make_mitigation))
         if key not in self._alone_cache:
-            system = System([profile], make_mitigation(),
-                            config=self.config)
-            result = system.run()
-            self._alone_cache[key] = result.thread_finish_cycles[0]
+            spec = (self._alone_spec(profile, key[1])
+                    if self.cache is not None else None)
+            cached = self.cache.get(spec) if spec is not None else None
+            if cached is not None:
+                self._alone_cache[key] = cached["finish_cycles"]
+            else:
+                system = System([profile], make_mitigation(),
+                                config=self.config)
+                result = system.run()
+                self._alone_cache[key] = result.thread_finish_cycles[0]
+                if spec is not None:
+                    self.cache.put(
+                        spec,
+                        {"finish_cycles": self._alone_cache[key]})
         return self._alone_cache[key]
 
     def run(self, profiles: List[WorkloadProfile],

@@ -62,10 +62,15 @@ class SystemResult:
     refreshes: int
     rfms: int
     mitigation_name: str
+    #: tCK of the run's speed grade, so cycle counts can be reported on
+    #: the wall-clock scale without the caller re-plumbing the timing.
+    tck_ns: float = 1.0
 
     @property
     def finish_ns(self) -> List[float]:
-        return self.thread_finish_cycles
+        """Per-thread finish times in nanoseconds (cycles x tCK)."""
+        return [cycles * self.tck_ns
+                for cycles in self.thread_finish_cycles]
 
 
 class System:
@@ -180,4 +185,5 @@ class System:
             refreshes=refreshes,
             rfms=rfms,
             mitigation_name=self.mitigation.name,
+            tck_ns=self.config.timing.tck_ns,
         )

@@ -1,0 +1,120 @@
+"""Content-addressed on-disk result cache.
+
+Simulation runs are deterministic functions of their spec (workload
+profiles, scheme, system configuration, seed), so their results can be
+memoised on disk: the spec is serialised to canonical JSON, hashed, and
+the result stored under ``<digest>.json``.  A schema version is part of
+the digested payload, so changing the result format (or anything about
+what a cached value means) invalidates old entries by construction
+rather than by manual cleanup.
+
+Writes are atomic (``os.replace`` of a temp file) so an interrupted
+sweep never leaves a torn entry behind -- a rerun simply resumes from
+whatever completed.  Corrupt or stale entries read as misses.
+
+Wipe the cache by deleting its directory (``rm -rf results/.cache``) or
+calling :meth:`ResultCache.wipe`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from typing import Any, Dict, Optional
+
+#: Bump whenever the meaning or format of cached values changes.
+SCHEMA_VERSION = 1
+
+#: Default location, shared by every experiment driver.
+DEFAULT_CACHE_DIR = "results/.cache"
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def spec_digest(spec: Any, schema_version: int = SCHEMA_VERSION) -> str:
+    """Stable hex digest of a JSON-serialisable spec."""
+    body = canonical_json({"schema": schema_version, "spec": spec})
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()[:40]
+
+
+class ResultCache:
+    """A keyed store of JSON values addressed by their spec's hash."""
+
+    def __init__(self, directory: str = DEFAULT_CACHE_DIR,
+                 schema_version: int = SCHEMA_VERSION):
+        self.directory = pathlib.Path(directory)
+        self.schema_version = schema_version
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, spec: Any) -> pathlib.Path:
+        """Where the entry for ``spec`` lives (whether or not it exists)."""
+        return self.directory / f"{spec_digest(spec, self.schema_version)}.json"
+
+    def get(self, spec: Any) -> Optional[Dict]:
+        """The cached value for ``spec``, or None on a miss.
+
+        The stored spec is compared against the requested one, so a
+        (vanishingly unlikely) digest collision or a hand-edited entry
+        degrades to a miss, never a wrong result.
+        """
+        path = self.path_for(spec)
+        try:
+            with open(path) as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (entry.get("schema") != self.schema_version
+                or entry.get("spec") != json.loads(canonical_json(spec))):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["value"]
+
+    def put(self, spec: Any, value: Dict) -> pathlib.Path:
+        """Persist ``value`` for ``spec`` atomically; returns the path."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(spec)
+        entry = {"schema": self.schema_version,
+                 "spec": json.loads(canonical_json(spec)),
+                 "value": value}
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entry, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def wipe(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "ResultCache",
+    "SCHEMA_VERSION",
+    "canonical_json",
+    "spec_digest",
+]

@@ -1,0 +1,314 @@
+"""The parallel experiment engine and its persistent result cache."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments import fig8
+from repro.experiments.configs import FidelityConfig, fidelity_config
+from repro.experiments.engine import (
+    BASELINE,
+    Engine,
+    Job,
+    JobResult,
+    SchemeSpec,
+    WsRelativePlan,
+    alone_job,
+    archsim_scheme_specs,
+    rfm_scheme_specs,
+    scheme_spec,
+    shared_job,
+)
+from repro.dram.device import DramGeometry
+from repro.dram.subarray import SubarrayLayout
+from repro.mitigations import NoMitigation
+from repro.sim import ExperimentRunner, SystemConfig
+from repro.utils.cache import ResultCache, canonical_json, spec_digest
+from repro.workloads import SPEC_PROFILES, mix_high
+
+SMALL_GEO = DramGeometry(
+    channels=2, ranks_per_channel=1, banks_per_rank=4,
+    layout=SubarrayLayout(subarrays_per_bank=4, rows_per_subarray=128),
+    columns_per_row=64,
+)
+
+#: The smoke-fidelity fig8 grid shape with micro run-scale knobs, so the
+#: determinism and cache tests cover the real driver end to end in
+#: seconds.
+MICRO = FidelityConfig(
+    name="smoke", threads=2, mt_threads=2,
+    requests_per_thread=60, single_thread_requests=40,
+    apps_per_suite=1, mix_random_count=1,
+    tracker_threads=2, tracker_requests=80,
+)
+
+
+def small_config(**kw):
+    kw.setdefault("geometry", SMALL_GEO)
+    kw.setdefault("requests_per_thread", 120)
+    kw.setdefault("seed", 7)
+    return SystemConfig(**kw)
+
+
+@pytest.fixture
+def micro_fig8(monkeypatch):
+    monkeypatch.setattr(fig8, "fidelity_config", lambda name: MICRO)
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        spec = {"a": 1, "b": [2, 3]}
+        assert cache.get(spec) is None
+        cache.put(spec, {"value": 42})
+        assert cache.get(spec) == {"value": 42}
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_digest_is_key_order_independent(self):
+        assert spec_digest({"a": 1, "b": 2}) == spec_digest({"b": 2, "a": 1})
+        assert spec_digest({"a": 1}) != spec_digest({"a": 2})
+
+    def test_schema_version_invalidates(self, tmp_path):
+        old = ResultCache(str(tmp_path), schema_version=1)
+        old.put({"x": 1}, {"value": 1})
+        new = ResultCache(str(tmp_path), schema_version=2)
+        assert new.get({"x": 1}) is None
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        path = cache.put({"x": 1}, {"value": 1})
+        path.write_text("not json{")
+        assert cache.get({"x": 1}) is None
+
+    def test_wipe(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put({"x": 1}, {"value": 1})
+        cache.put({"x": 2}, {"value": 2})
+        assert cache.wipe() == 2
+        assert cache.get({"x": 1}) is None
+
+    def test_canonical_json_stable(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == \
+            '{"a":[1,2],"b":1}'
+
+
+class TestSchemeSpec:
+    def test_builds_every_registered_kind(self):
+        for name, spec in {**rfm_scheme_specs(4096),
+                           **archsim_scheme_specs(4096)}.items():
+            instance = spec.build()
+            assert instance.name, name
+            # Fresh per-run state on every build.
+            assert spec.build() is not instance
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            scheme_spec("not-a-scheme", hcnt=4096)
+
+    def test_params_order_insensitive(self):
+        a = scheme_spec("parfm", hcnt=4096, radius=2)
+        b = SchemeSpec("parfm", (("radius", 2), ("hcnt", 4096)))
+        assert a == SchemeSpec("parfm", tuple(sorted(b.params)))
+
+    def test_payload_json_serialisable(self):
+        payload = scheme_spec("shadow", hcnt=4096).payload()
+        assert json.loads(canonical_json(payload)) == payload
+
+
+class TestJobIdentity:
+    def test_equal_specs_equal_jobs(self):
+        p = SPEC_PROFILES["mcf"]
+        a = alone_job(p, BASELINE, small_config())
+        b = alone_job(p, BASELINE, small_config())
+        assert a == b and hash(a) == hash(b)
+
+    def test_seed_differentiates(self):
+        p = SPEC_PROFILES["mcf"]
+        a = alone_job(p, BASELINE, small_config(seed=1))
+        b = alone_job(p, BASELINE, small_config(seed=2))
+        assert a != b
+
+    def test_scheme_differentiates(self):
+        p = SPEC_PROFILES["mcf"]
+        a = alone_job(p, scheme_spec("shadow", hcnt=4096), small_config())
+        b = alone_job(p, scheme_spec("shadow", hcnt=2048), small_config())
+        assert a != b
+
+    def test_empty_profiles_rejected(self):
+        with pytest.raises(ValueError):
+            Job((), BASELINE, small_config())
+
+    def test_spec_is_json_serialisable(self):
+        job = shared_job([SPEC_PROFILES["mcf"]] * 2,
+                         scheme_spec("drr"), small_config())
+        assert json.loads(canonical_json(job.spec)) == \
+            json.loads(canonical_json(job.spec))
+
+
+class TestEngine:
+    def _jobs(self, n=3):
+        config = small_config()
+        profiles = sorted(SPEC_PROFILES)[:n]
+        return [alone_job(SPEC_PROFILES[p], BASELINE, config)
+                for p in profiles]
+
+    def test_dedup(self, tmp_path):
+        engine = Engine(cache_dir=str(tmp_path))
+        jobs = self._jobs(2)
+        results = engine.run(jobs + jobs)
+        assert engine.stats.submitted == 4
+        assert engine.stats.unique == 2
+        assert engine.stats.executed == 2
+        assert set(results) == set(jobs)
+
+    def test_second_run_hits_cache_with_identical_values(self, tmp_path):
+        jobs = self._jobs(3)
+        first = Engine(cache_dir=str(tmp_path))
+        r1 = first.run(jobs)
+        assert first.stats.executed == 3
+        assert first.stats.cache_hits == 0
+        second = Engine(cache_dir=str(tmp_path))
+        r2 = second.run(jobs)
+        assert second.stats.executed == 0          # zero simulations
+        assert second.stats.cache_hits == 3
+        for job in jobs:
+            assert r1[job].to_dict() == r2[job].to_dict()
+
+    def test_no_cache_mode(self, tmp_path):
+        engine = Engine(cache_dir=str(tmp_path), use_cache=False)
+        engine.run(self._jobs(1))
+        assert not list(tmp_path.glob("*.json"))
+
+    def test_parallel_matches_serial(self, tmp_path):
+        jobs = self._jobs(3)
+        serial = Engine(jobs=1, cache_dir=str(tmp_path / "a")).run(jobs)
+        parallel = Engine(jobs=2, cache_dir=str(tmp_path / "b")).run(jobs)
+        for job in jobs:
+            assert serial[job].to_dict() == parallel[job].to_dict()
+
+    def test_result_fields_roundtrip(self, tmp_path):
+        job = self._jobs(1)[0]
+        result = Engine(cache_dir=str(tmp_path)).run([job])[job]
+        assert result.requests_issued == 120
+        assert result.acts > 0
+        assert result.tck_ns == job.config.timing.tck_ns
+        assert result.finish_ns[0] == pytest.approx(
+            result.thread_finish_cycles[0] * job.config.timing.tck_ns)
+        assert JobResult.from_dict(result.to_dict()) == result
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            Engine(jobs=0)
+
+
+class TestWsRelativePlan:
+    def test_matches_experiment_runner(self, tmp_path):
+        """The engine path reproduces the serial runner's ratios."""
+        config = small_config()
+        profiles = mix_high(2)
+        spec = scheme_spec("drr")
+        plan = WsRelativePlan(config)
+        plan.add("drr", profiles, spec)
+        results = Engine(cache_dir=str(tmp_path)).run(plan.jobs)
+        engine_value = plan.value("drr", results)
+        runner = ExperimentRunner(config=config)
+        from repro.mitigations import DoubleRefreshRate
+        serial_value = runner.relative_performance(
+            profiles, DoubleRefreshRate)
+        assert engine_value == pytest.approx(serial_value, rel=0, abs=0)
+
+    def test_baseline_jobs_shared_between_labels(self):
+        config = small_config()
+        profiles = mix_high(2)
+        plan = WsRelativePlan(config)
+        plan.add("a", profiles, scheme_spec("drr"))
+        plan.add("b", profiles, scheme_spec("shadow", hcnt=4096))
+        # alone runs + shared baseline are shared; only the scheme
+        # shared runs differ.
+        distinct_profiles = len(set(profiles))
+        assert len(plan.jobs) == distinct_profiles + 1 + 2
+
+
+class TestFig8OnEngine:
+    """End-to-end determinism and caching through the real driver."""
+
+    def test_jobs2_matches_jobs1(self, micro_fig8, tmp_path):
+        serial = Engine(jobs=1, cache_dir=str(tmp_path / "serial"))
+        parallel = Engine(jobs=2, cache_dir=str(tmp_path / "parallel"))
+        r1 = fig8.run("smoke", engine=serial)
+        r2 = fig8.run("smoke", engine=parallel)
+        assert serial.stats.executed > 0
+        assert parallel.stats.executed == serial.stats.executed
+        assert r1 == r2
+
+    def test_second_run_all_cache_hits(self, micro_fig8, tmp_path):
+        first = Engine(cache_dir=str(tmp_path))
+        r1 = fig8.run("smoke", engine=first)
+        assert first.stats.executed == first.stats.unique > 0
+        second = Engine(cache_dir=str(tmp_path))
+        r2 = fig8.run("smoke", engine=second)
+        assert second.stats.executed == 0
+        assert second.stats.cache_hits == second.stats.unique
+        assert r1 == r2
+
+    def test_interrupted_run_resumes(self, micro_fig8, tmp_path):
+        """A partial cache is reused, not restarted."""
+        warm = Engine(cache_dir=str(tmp_path))
+        fig8.run("smoke", engine=warm)
+        # Simulate an interruption that lost part of the cache.
+        entries = sorted(warm.cache.directory.glob("*.json"))
+        for path in entries[: len(entries) // 2]:
+            path.unlink()
+        resumed = Engine(cache_dir=str(tmp_path))
+        fig8.run("smoke", engine=resumed)
+        assert resumed.stats.executed == len(entries) // 2
+        assert resumed.stats.cache_hits == \
+            resumed.stats.unique - len(entries) // 2
+
+
+class TestRunnerBugfixes:
+    def test_run_alone_does_not_rebuild_probe(self):
+        """Resolving the cache key must not construct mitigations."""
+        built = []
+
+        def factory():
+            built.append(1)
+            return NoMitigation()
+
+        runner = ExperimentRunner(config=small_config())
+        p = SPEC_PROFILES["xz"]
+        runner.run_alone(p, factory)
+        # One probe (name resolution) + one simulated instance.
+        assert len(built) == 2
+        runner.run_alone(p, factory)                   # cache hit
+        assert len(built) == 2
+        runner.run_alone(SPEC_PROFILES["gcc"], factory)  # new profile
+        assert len(built) == 3
+
+    def test_run_alone_uses_persistent_cache(self, tmp_path):
+        config = small_config()
+        p = SPEC_PROFILES["xz"]
+        first = ExperimentRunner(config=config,
+                                 cache=ResultCache(str(tmp_path)))
+        cycles = first.run_alone(p, NoMitigation)
+        fresh = ExperimentRunner(config=config,
+                                 cache=ResultCache(str(tmp_path)))
+        assert fresh.run_alone(p, NoMitigation) == cycles
+        assert fresh.cache.hits == 1
+
+
+class TestConfigsBugfix:
+    def test_explicit_zero_requests_rejected(self):
+        fc = fidelity_config("smoke")
+        with pytest.raises(ValueError):
+            fc.system_config(requests=0)
+
+    def test_none_requests_uses_fidelity_default(self):
+        fc = fidelity_config("smoke")
+        cfg = fc.system_config(requests=None)
+        assert cfg.requests_per_thread == fc.requests_per_thread
+
+    def test_explicit_requests_respected(self):
+        fc = fidelity_config("smoke")
+        assert fc.system_config(requests=17).requests_per_thread == 17

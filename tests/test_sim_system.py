@@ -147,6 +147,17 @@ class TestSystem:
         with pytest.raises(ValueError):
             System([], config=small_config())
 
+    def test_finish_ns_converts_cycles_to_nanoseconds(self):
+        # Regression: finish_ns used to return raw cycles.
+        config = small_config()
+        result = System([SPEC_PROFILES["gcc"]], config=config).run()
+        tck = config.timing.tck_ns
+        assert result.tck_ns == tck
+        assert tck != 1.0        # conversion must actually change values
+        assert result.finish_ns == \
+            [c * tck for c in result.thread_finish_cycles]
+        assert result.finish_ns[0] != result.thread_finish_cycles[0]
+
 
 class TestMetrics:
     def test_throughput(self):
