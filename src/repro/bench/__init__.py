@@ -1,0 +1,27 @@
+"""Simulator hot-path benchmarking (``shadow-repro bench``).
+
+The bench harness pins a small set of seeded system configurations that
+each stress a different scheduler regime (row-hit streaming, row-miss
+conflicts, RFM-heavy SHADOW traffic, refresh-dominated idling), measures
+cycles-simulated-per-second for each, and writes a machine-readable
+report (``BENCH_PR2.json``) so successive PRs accumulate a performance
+trajectory.  CI runs the quick variant and fails on large regressions.
+"""
+
+from repro.bench.harness import (
+    BENCH_PROFILES,
+    BenchProfile,
+    check_regression,
+    load_report,
+    run_bench,
+    write_report,
+)
+
+__all__ = [
+    "BENCH_PROFILES",
+    "BenchProfile",
+    "check_regression",
+    "load_report",
+    "run_bench",
+    "write_report",
+]

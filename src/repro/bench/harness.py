@@ -1,0 +1,242 @@
+"""Pinned scheduler benchmarks and the report/regression machinery.
+
+Every profile is fully seeded: the simulated outcome (cycles, command
+counts) is deterministic, so ``cycles / wall_seconds`` is a clean
+throughput metric for the command-level hot path.  Wall time is the only
+noisy quantity; ``repeats`` takes the best of N runs to suppress jitter.
+
+The report format (schema ``shadow-repro-bench/1``) keeps one entry per
+variant (``quick`` / ``full``) so CI's quick runs compare against the
+committed quick baseline rather than against full-length numbers.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import json
+import platform
+import pstats
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.mitigations.base import Mitigation
+from repro.mitigations.none import NoMitigation
+from repro.sim import System, SystemConfig
+from repro.workloads.trace import WorkloadProfile
+
+SCHEMA = "shadow-repro-bench/1"
+
+#: Requests-per-thread divisor for the quick (CI) variant.
+QUICK_DIVISOR = 8
+
+# -- pinned workloads -----------------------------------------------------------
+
+#: Streaming with high row-buffer locality: the open-row hit scan is the
+#: hot path (FR-FCFS serves long runs of column commands per ACT).
+_HIT_HEAVY = WorkloadProfile(
+    name="bench-hit", mpki=50.0, row_buffer_locality=0.92,
+    write_fraction=0.2, footprint_pages=256, sequential=True)
+
+#: Near-zero locality over a wide footprint: almost every access is an
+#: ACT/PRE pair, stressing the demand-candidate and rank-timing paths.
+_CONFLICT_HEAVY = WorkloadProfile(
+    name="bench-conflict", mpki=50.0, row_buffer_locality=0.05,
+    write_fraction=0.3, footprint_pages=8192, zipf_alpha=0.4)
+
+#: Low-intensity traffic whose inter-request gaps dwarf tREFI: the
+#: refresh/idle-wake machinery dominates the event count.
+_REFRESH_DOMINATED = WorkloadProfile(
+    name="bench-refresh", mpki=0.6, row_buffer_locality=0.3,
+    write_fraction=0.25, footprint_pages=1024)
+
+
+def _shadow():
+    # Imported lazily so the bench module works even in stripped trees.
+    from repro.core import Shadow, ShadowConfig
+    return Shadow(ShadowConfig(raaimt=32, rng_kind="system"))
+
+
+@dataclass(frozen=True)
+class BenchProfile:
+    """One pinned, seeded benchmark configuration."""
+
+    name: str
+    description: str
+    workload: WorkloadProfile
+    threads: int
+    requests_per_thread: int
+    seed: int
+    mitigation_factory: Callable[[], Mitigation] = NoMitigation
+    enable_refresh: bool = True
+
+    def build(self, quick: bool) -> System:
+        requests = self.requests_per_thread
+        if quick:
+            requests = max(64, requests // QUICK_DIVISOR)
+        config = SystemConfig(requests_per_thread=requests, seed=self.seed,
+                              enable_refresh=self.enable_refresh)
+        return System([self.workload] * self.threads,
+                      self.mitigation_factory(), config=config)
+
+
+BENCH_PROFILES: Dict[str, BenchProfile] = {
+    p.name: p for p in (
+        BenchProfile(
+            name="hit-heavy",
+            description="streaming row-buffer hits, no mitigation",
+            workload=_HIT_HEAVY, threads=4,
+            requests_per_thread=12000, seed=101),
+        BenchProfile(
+            name="conflict-heavy",
+            description="row-miss traffic over a wide footprint",
+            workload=_CONFLICT_HEAVY, threads=4,
+            requests_per_thread=4000, seed=202),
+        BenchProfile(
+            name="shadow-rfm",
+            description="SHADOW at RAAIMT=32: RFM-heavy + translation",
+            workload=_CONFLICT_HEAVY, threads=4,
+            requests_per_thread=3000, seed=303,
+            mitigation_factory=_shadow),
+        BenchProfile(
+            name="refresh-dominated",
+            description="sparse traffic; REF/idle-wake dominates events",
+            workload=_REFRESH_DOMINATED, threads=2,
+            requests_per_thread=1500, seed=404),
+    )
+}
+
+
+# -- measurement ------------------------------------------------------------------
+
+def _profile_top(profiler: cProfile.Profile, top_n: int) -> List[Dict]:
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    rows = []
+    for func, (cc, nc, tt, ct, _callers) in stats.stats.items():
+        filename, lineno, name = func
+        rows.append({
+            "function": f"{Path(filename).name}:{lineno}({name})",
+            "ncalls": nc,
+            "tottime_s": round(tt, 4),
+            "cumtime_s": round(ct, 4),
+        })
+    rows.sort(key=lambda r: r["cumtime_s"], reverse=True)
+    return rows[:top_n]
+
+
+def run_one(profile: BenchProfile, quick: bool = False, repeats: int = 1,
+            with_cprofile: bool = False, top_n: int = 15) -> Dict:
+    """Run one pinned profile; returns its report entry."""
+    if repeats <= 0:
+        raise ValueError("repeats must be positive")
+    best_wall = None
+    result = None
+    for _ in range(repeats):
+        system = profile.build(quick)
+        t0 = time.perf_counter()
+        result = system.run()
+        wall = time.perf_counter() - t0
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+    entry = {
+        "description": profile.description,
+        "quick": quick,
+        "threads": profile.threads,
+        "requests": result.requests_issued,
+        "cycles": result.cycles,
+        "acts": result.stats.acts,
+        "row_hits": result.stats.row_hits,
+        "refreshes": result.refreshes,
+        "rfms": result.rfms,
+        "wall_s": round(best_wall, 4),
+        "cycles_per_s": round(result.cycles / best_wall, 1),
+    }
+    if with_cprofile:
+        system = profile.build(quick)
+        profiler = cProfile.Profile()
+        profiler.enable()
+        system.run()
+        profiler.disable()
+        entry["cprofile_top"] = _profile_top(profiler, top_n)
+    return entry
+
+
+def run_bench(names: Optional[List[str]] = None, quick: bool = False,
+              repeats: int = 1, with_cprofile: bool = False,
+              log=print) -> Dict[str, Dict]:
+    """Run the pinned profile set; returns ``{name: entry}``."""
+    if names is None:
+        names = list(BENCH_PROFILES)
+    unknown = sorted(set(names) - set(BENCH_PROFILES))
+    if unknown:
+        raise ValueError(f"unknown bench profiles: {unknown}; "
+                         f"choose from {sorted(BENCH_PROFILES)}")
+    results = {}
+    for name in names:
+        entry = run_one(BENCH_PROFILES[name], quick=quick, repeats=repeats,
+                        with_cprofile=with_cprofile)
+        results[name] = entry
+        if log is not None:
+            log(f"{name:>18}: {entry['cycles']:>9} cycles in "
+                f"{entry['wall_s']:.2f}s -> {entry['cycles_per_s']:>10.0f} "
+                f"cycles/s")
+    return results
+
+
+# -- report I/O ---------------------------------------------------------------------
+
+def load_report(path) -> Dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def write_report(path, variant: str, results: Dict[str, Dict],
+                 extra: Optional[Dict] = None) -> Dict:
+    """Merge ``results`` for ``variant`` into the report at ``path``.
+
+    Existing entries for other variants (and any ``pre_pr`` reference
+    section) are preserved so one file carries the whole trajectory.
+    """
+    path = Path(path)
+    report = {}
+    if path.exists():
+        report = load_report(path)
+    report.setdefault("schema", SCHEMA)
+    report["host"] = {
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+    }
+    report.setdefault("variants", {})[variant] = results
+    if extra:
+        report.update(extra)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return report
+
+
+def check_regression(results: Dict[str, Dict], baseline: Dict,
+                     variant: str, max_regression: float) -> List[str]:
+    """Compare ``results`` against a report's matching variant.
+
+    Returns failure messages for every profile whose cycles/s dropped by
+    more than ``max_regression`` (a fraction, e.g. 0.30).  Profiles
+    missing from the baseline are skipped (new profiles are allowed).
+    """
+    if not 0 <= max_regression < 1:
+        raise ValueError("max_regression must be in [0, 1)")
+    base_variant = baseline.get("variants", {}).get(variant, {})
+    failures = []
+    for name, entry in results.items():
+        base = base_variant.get(name)
+        if base is None:
+            continue
+        floor = base["cycles_per_s"] * (1.0 - max_regression)
+        if entry["cycles_per_s"] < floor:
+            failures.append(
+                f"{name}: {entry['cycles_per_s']:.0f} cycles/s is below "
+                f"{floor:.0f} (baseline {base['cycles_per_s']:.0f} "
+                f"- {max_regression:.0%})")
+    return failures

@@ -8,6 +8,7 @@ script) bundles the common flows:
 * ``security``  -- evaluate the Appendix XI bounds for a configuration
 * ``experiment``-- run a paper table/figure driver by name
 * ``templating``-- templating campaign (static vs SHADOW)
+* ``bench``     -- pinned scheduler benchmarks (throughput + profiling)
 """
 
 from __future__ import annotations
@@ -138,6 +139,43 @@ def cmd_templating(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Handle ``shadow-repro bench`` (exit 1 on a baseline regression)."""
+    from repro.bench import (
+        BENCH_PROFILES, check_regression, load_report, run_bench,
+        write_report)
+
+    names = args.profiles or None
+    variant = "quick" if args.quick else "full"
+    try:
+        results = run_bench(names=names, quick=args.quick,
+                            repeats=args.repeats,
+                            with_cprofile=args.profile)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if args.profile:
+        for name, entry in results.items():
+            print(f"-- cProfile top for {name} --")
+            for row in entry["cprofile_top"]:
+                print(f"  {row['cumtime_s']:>8.3f}s cum "
+                      f"{row['tottime_s']:>8.3f}s tot "
+                      f"{row['ncalls']:>8}x  {row['function']}")
+    if args.out:
+        write_report(args.out, variant, results)
+        print(f"wrote {variant} results to {args.out}")
+    if args.baseline:
+        baseline = load_report(args.baseline)
+        failures = check_regression(results, baseline, variant,
+                                    args.max_regression)
+        if failures:
+            for message in failures:
+                print(f"REGRESSION: {message}", file=sys.stderr)
+            return 1
+        print(f"no regression vs {args.baseline} "
+              f"(threshold {args.max_regression:.0%})")
+    return 0
+
+
 #: Drivers that run on the experiment engine and take its flags.
 ENGINE_EXPERIMENTS = frozenset(
     ["fig8", "fig9", "fig10", "fig11", "fig12", "ablations"])
@@ -209,6 +247,26 @@ def build_parser() -> argparse.ArgumentParser:
     exp_p.add_argument("--no-cache", action="store_true",
                        help="bypass the persistent result cache")
     exp_p.set_defaults(func=cmd_experiment)
+
+    bench_p = sub.add_parser(
+        "bench", help="pinned scheduler benchmarks")
+    bench_p.add_argument("--quick", action="store_true",
+                         help="shortened CI variant of each profile")
+    bench_p.add_argument("--repeats", type=int, default=1, metavar="N",
+                         help="take the best wall time of N runs")
+    bench_p.add_argument("--profile", action="store_true",
+                         help="also report cProfile top functions")
+    bench_p.add_argument("--profiles", nargs="*", metavar="NAME",
+                         help="subset of profiles (default: all)")
+    bench_p.add_argument("--out", metavar="PATH",
+                         help="merge results into this report JSON")
+    bench_p.add_argument("--baseline", metavar="PATH",
+                         help="compare against a committed report")
+    bench_p.add_argument("--max-regression", type=float, default=0.30,
+                         metavar="FRAC",
+                         help="allowed cycles/s drop vs baseline "
+                              "(default 0.30)")
+    bench_p.set_defaults(func=cmd_bench)
 
     return parser
 

@@ -20,12 +20,26 @@ refresh ranges, TRR refreshes, row copies) to an optional Row Hammer
 observer so security and performance experiments share one source of
 truth.
 
-Implementation note: this is the simulator's hottest code.  Requests
-carry a cached DA translation tagged with the mitigation's per-bank
-*translation generation* so the (potentially dynamic) PA-to-DA mapping
-is only re-evaluated after a shuffle/swap actually changed it, and
-scheduling candidates are plain tuples dispatched by opcode rather than
-closures.
+Implementation note: this is the simulator's hottest code, and it is
+*incremental*.  Each :class:`_BankCtx` caches the bank-local part of its
+best scheduling candidate (which op, which request, the earliest cycle
+the bank itself allows) plus a ``{da_row -> requests}`` hit index, and a
+dirty bit; executing a command on a bank, enqueueing to it, an
+all-bank REF, or a mitigation translation-generation bump (reported via
+:meth:`~repro.mitigations.base.Mitigation.register_translation_listener`)
+invalidates only the affected contexts.  Candidate selection then
+reduces over cached entries, applying only the shared-resource
+constraints (rank ACT/column spacing, command/data bus floors,
+throttling) that legitimately change between any two commands.  The
+command stream this produces is cycle-identical to a full per-iteration
+recompute -- ``tests/test_scheduler_equivalence.py`` pins that against
+recorded seed-controller golden runs.
+
+Requests carry a cached DA translation tagged with the mitigation's
+per-bank *translation generation*; the hit index is re-keyed in one
+batch when a generation bump is observed, so the (potentially dynamic)
+PA-to-DA mapping is re-evaluated once per shuffle/swap rather than once
+per scan.
 """
 
 from __future__ import annotations
@@ -38,6 +52,7 @@ from repro.controller.request import MemoryRequest
 from repro.controller.rfm import RaaCounterBank
 from repro.dram.commands import CommandType
 from repro.dram.device import BankAddress, DramDevice
+from repro.dram.rank import _FAR_PAST
 from repro.dram.refresh import RefreshTracker
 from repro.mitigations.base import Mitigation
 
@@ -65,16 +80,37 @@ class McConfig:
 
 
 class _BankCtx:
-    """Pre-resolved per-bank scheduling state (hot-path bundle)."""
+    """Pre-resolved per-bank scheduling state (hot-path bundle).
 
-    __slots__ = ("addr", "bank", "queue", "rank_key", "group")
+    ``cand`` holds the cached *bank-local* candidate core
+    ``(bank_earliest, prio, age, op, payload, data_lead)`` -- everything
+    that only changes when this bank's own state changes.  ``dirty``
+    forces a recompute; it is set by enqueue, by every command executed
+    on the bank (including rank-wide REF), and by translation-generation
+    bumps.  ``hit_index`` maps each DA row to the FIFO of queued
+    requests targeting it, valid for translation generation
+    ``index_gen``; retired requests leave the index eagerly and the
+    ``queue`` deque lazily.
+    """
 
-    def __init__(self, addr: BankAddress, bank, rank_key, group):
+    __slots__ = ("addr", "bank", "queue", "rank", "rank_key", "rank_index",
+                 "group", "pending", "in_active", "dirty", "cand",
+                 "hit_index", "index_gen")
+
+    def __init__(self, addr: BankAddress, bank, rank, rank_key, group):
         self.addr = addr
         self.bank = bank
         self.queue: Deque[MemoryRequest] = deque()
+        self.rank = rank
         self.rank_key = rank_key
+        self.rank_index = addr.rank
         self.group = group
+        self.pending = 0
+        self.in_active = False
+        self.dirty = True
+        self.cand = None
+        self.hit_index: Dict[int, Deque[MemoryRequest]] = {}
+        self.index_gen = 0
 
 
 class MemoryController:
@@ -91,7 +127,20 @@ class MemoryController:
         mitigation.bind(geometry, device.timing)
 
         self._timing = device.timing
+        self._tCL = device.timing.tCL
+        self._tCWL = device.timing.tCWL
+        # Rank-spacing constants, hoisted for the candidate reduce loop.
+        self._tRRD_L = device.timing.tRRD_L
+        self._tRRD_S = device.timing.tRRD_S
+        self._tCCD_L = device.timing.tCCD_L
+        self._tCCD_S = device.timing.tCCD_S
+        self._tFAW = device.timing.tFAW
         self._act_extra = mitigation.act_extra_cycles
+        self._chans = device.channels
+        #: Only pay the per-candidate ``before_activate`` call when the
+        #: mitigation actually overrides it (the base hook is identity).
+        self._throttles = (type(mitigation).before_activate
+                           is not Mitigation.before_activate)
 
         scale = mitigation.refresh_interval_scale
         trefi = max(1, int(device.timing.tREFI * scale))
@@ -104,6 +153,10 @@ class MemoryController:
                 for ch in range(geometry.channels)
                 for rk in range(geometry.ranks_per_channel)
             }
+        self._chan_refresh: Dict[int, List[Tuple[int, RefreshTracker]]] = {
+            ch: [] for ch in range(geometry.channels)}
+        for (ch, rk), tracker in self.refresh.items():
+            self._chan_refresh[ch].append((rk, tracker))
 
         self.raa: Optional[RaaCounterBank] = None
         if mitigation.uses_rfm:
@@ -113,13 +166,18 @@ class MemoryController:
         self._ctx: Dict[BankAddress, _BankCtx] = {}
         self._rank_banks: Dict[Tuple[int, int], List[_BankCtx]] = {}
         for addr in geometry.bank_addresses():
+            rank_key = (addr.channel, addr.rank)
             ctx = _BankCtx(addr, device.banks[addr],
-                           (addr.channel, addr.rank),
+                           device.ranks[rank_key], rank_key,
                            geometry.bank_group_of(addr.bank))
             self._ctx[addr] = ctx
-            self._rank_banks.setdefault(ctx.rank_key, []).append(ctx)
+            self._rank_banks.setdefault(rank_key, []).append(ctx)
         self._active: Dict[int, List[_BankCtx]] = {
             ch: [] for ch in range(geometry.channels)}
+        self._pending_chan: List[int] = [0] * geometry.channels
+        self._pending_total = 0
+
+        mitigation.register_translation_listener(self._translation_changed)
 
         self.enqueued = 0
         self.retired = 0
@@ -129,24 +187,44 @@ class MemoryController:
     @property
     def queues(self) -> Dict[BankAddress, Deque[MemoryRequest]]:
         """Per-bank queues (read-only view for tests/tools)."""
-        return {addr: ctx.queue for addr, ctx in self._ctx.items()
-                if ctx.queue}
+        result = {}
+        for addr, ctx in self._ctx.items():
+            if ctx.pending:
+                result[addr] = deque(r for r in ctx.queue
+                                     if r.completed is None)
+        return result
 
     def enqueue(self, request: MemoryRequest) -> None:
         addr = request.location.bank_address
         ctx = self._ctx.get(addr)
         if ctx is None:
             raise ValueError(f"bank address {addr} outside geometry")
-        if not ctx.queue:
+        if not ctx.in_active:
             self._active[addr.channel].append(ctx)
+            ctx.in_active = True
+        mitigation = self.mitigation
+        generation = mitigation.translation_generation(addr)
+        if generation != ctx.index_gen:
+            self._reindex(ctx, generation)
+        da_row = mitigation.translate(addr, request.location.row)
+        request.da_row = da_row
+        request.da_generation = generation
         ctx.queue.append(request)
+        rows = ctx.hit_index.get(da_row)
+        if rows is None:
+            ctx.hit_index[da_row] = rows = deque()
+        rows.append(request)
+        ctx.pending += 1
+        ctx.dirty = True
+        self._pending_chan[addr.channel] += 1
+        self._pending_total += 1
         self.enqueued += 1
 
     def pending_requests(self, channel: Optional[int] = None) -> int:
+        """Outstanding request count, O(1) via maintained counters."""
         if channel is None:
-            return sum(len(c.queue) for cs in self._active.values()
-                       for c in cs)
-        return sum(len(c.queue) for c in self._active[channel])
+            return self._pending_total
+        return self._pending_chan[channel]
 
     # -- main scheduling entry point ------------------------------------------------
 
@@ -159,14 +237,16 @@ class MemoryController:
         (``None`` if it is fully idle with no future obligations).
         """
         completions: List[Tuple[MemoryRequest, int]] = []
+        best_candidate = self._best_candidate
+        execute = self._execute
         while True:
-            best = self._best_candidate(channel, until)
+            best = best_candidate(channel, until)
             if best is None:
                 return completions, self._idle_wake(channel, until)
             earliest = best[0]
             if earliest > until:
                 return completions, earliest
-            done = self._execute(best)
+            done = execute(best)
             if done is not None:
                 completions.append(done)
                 self.retired += 1
@@ -174,28 +254,42 @@ class MemoryController:
     # -- candidate generation ---------------------------------------------------------
 
     def _best_candidate(self, channel: int, until: int):
-        """Find the (earliest, prio, age, op, ctx, request) candidate."""
-        chan = self.device.channels[channel]
-        timing = self._timing
+        """Find the (earliest, prio, age, op, target, payload) candidate.
+
+        Refresh and RFM obligations are derived fresh (they are rare and
+        depend on ``until``); demand candidates reduce over the per-bank
+        caches, applying only the shared rank/channel constraints here.
+        Iteration order (refresh ranks, RAA-counter insertion order,
+        active-bank insertion order) matches the original full-recompute
+        scheduler exactly so tie-breaks are preserved.
+        """
+        chan = self._chans[channel]
         mitigation = self.mitigation
-        best = None
+        best_e = best_p = best_a = -1
+        best_op = best_target = best_payload = None
+        have_best = False
 
         refresh_draining_ranks = None
-        for rank_index in range(self.device.geometry.ranks_per_channel):
-            tracker = self.refresh.get((channel, rank_index))
-            if tracker is None or tracker.next_due > until:
+        for rank_index, tracker in self._chan_refresh[channel]:
+            if tracker.next_due > until:
                 continue
             if refresh_draining_ranks is None:
                 refresh_draining_ranks = set()
             refresh_draining_ranks.add(rank_index)
             cand = self._refresh_candidate(channel, rank_index, tracker,
                                            chan)
-            if cand is not None and (best is None or cand[:3] < best[:3]):
-                best = cand
+            if cand is None:
+                continue
+            e, p, a = cand[0], cand[1], cand[2]
+            if (not have_best) or (e, p, a) < (best_e, best_p, best_a):
+                have_best = True
+                best_e, best_p, best_a = e, p, a
+                best_op, best_target, best_payload = cand[3], cand[4], cand[5]
 
         rfm_banks = None
-        if self.raa is not None:
-            for addr in self.raa.banks_needing_rfm():
+        raa = self.raa
+        if raa is not None and raa.due_count:
+            for addr in raa.banks_needing_rfm():
                 if addr.channel != channel:
                     continue
                 if refresh_draining_ranks and \
@@ -206,44 +300,182 @@ class MemoryController:
                     rfm_banks = set()
                 rfm_banks.add(addr)
                 cand = self._rfm_candidate(ctx, chan)
-                if best is None or cand[:3] < best[:3]:
-                    best = cand
+                e, p, a = cand[0], cand[1], cand[2]
+                if (not have_best) or (e, p, a) < (best_e, best_p, best_a):
+                    have_best = True
+                    best_e, best_p, best_a = e, p, a
+                    best_op, best_target, best_payload = \
+                        cand[3], cand[4], cand[5]
 
+        cmd_floor, data_floor = chan.floors()
+        throttles = self._throttles
+        tRRD_L, tRRD_S = self._tRRD_L, self._tRRD_S
+        tCCD_L, tCCD_S = self._tCCD_L, self._tCCD_S
+        tFAW = self._tFAW
         active = self._active[channel]
         removals = False
         for ctx in active:
-            if not ctx.queue:
+            if not ctx.pending:
                 removals = True
+                ctx.in_active = False
                 continue
-            if refresh_draining_ranks and \
-                    ctx.addr.rank in refresh_draining_ranks:
+            if refresh_draining_ranks is not None and \
+                    ctx.rank_index in refresh_draining_ranks:
                 continue
-            if rfm_banks and ctx.addr in rfm_banks:
+            if rfm_banks is not None and ctx.addr in rfm_banks:
                 continue
-            cand = self._demand_candidate(ctx, chan, timing, mitigation)
-            if best is None or cand[:3] < best[:3]:
-                best = cand
+            cand = self._recompute(ctx) if ctx.dirty else ctx.cand
+            e, prio, age, op, payload, lead = cand
+            # The rank spacing checks below are RankTiming.earliest_act
+            # / .earliest_column inlined -- this loop runs once per
+            # active bank per scheduling decision.
+            rank = ctx.rank
+            group = ctx.group
+            if op == _OP_COL:
+                spacing = tCCD_L if group == rank._last_col_group else tCCD_S
+                floor = rank._last_col + spacing
+                if e < floor:
+                    e = floor
+                if e < cmd_floor:
+                    e = cmd_floor
+                data_start = data_floor - lead
+                if e < data_start:
+                    e = data_start
+            elif op == _OP_ACT:
+                spacing = tRRD_L if group == rank._last_act_group else tRRD_S
+                floor = rank._last_act + spacing
+                if e < floor:
+                    e = floor
+                floor = rank._group_last_act.get(group, _FAR_PAST) + tRRD_L
+                if e < floor:
+                    e = floor
+                act_times = rank._act_times
+                if len(act_times) == 4:
+                    floor = act_times[0] + tFAW
+                    if e < floor:
+                        e = floor
+                if e < cmd_floor:
+                    e = cmd_floor
+                if throttles:
+                    e = mitigation.before_activate(
+                        ctx.addr, payload.location.row, e)
+            else:  # _OP_PRE (row conflict)
+                if e < cmd_floor:
+                    e = cmd_floor
+            if (not have_best) or e < best_e or (
+                    e == best_e and (prio < best_p or
+                                     (prio == best_p and age < best_a))):
+                have_best = True
+                best_e, best_p, best_a = e, prio, age
+                best_op, best_target, best_payload = op, ctx, payload
         if removals:
-            self._active[channel] = [c for c in active if c.queue]
-        return best
+            self._active[channel] = [c for c in active if c.pending]
+        if not have_best:
+            return None
+        return (best_e, best_p, best_a, best_op, best_target, best_payload)
+
+    def _recompute(self, ctx: _BankCtx):
+        """Rebuild a bank's cached candidate core after invalidation."""
+        # Bank earliest-issue times are inlined as field maxes (see
+        # Bank.earliest_issue) -- this is the single hottest helper.
+        bank = ctx.bank
+        open_row = bank.open_row
+        busy = bank.busy_until
+        if open_row is not None:
+            generation = self.mitigation.translation_generation(ctx.addr)
+            if generation != ctx.index_gen:
+                self._reindex(ctx, generation)
+            rows = ctx.hit_index.get(open_row)
+            if rows:
+                hit = rows[0]
+                if hit.is_write:
+                    e = bank.next_wr
+                    cand = (e if e > busy else busy, _PRIO_HIT,
+                            hit.arrival, _OP_COL, hit, self._tCWL)
+                else:
+                    e = bank.next_rd
+                    cand = (e if e > busy else busy, _PRIO_HIT,
+                            hit.arrival, _OP_COL, hit, self._tCL)
+            else:
+                queue = ctx.queue
+                while queue[0].completed is not None:
+                    queue.popleft()
+                e = bank.next_pre
+                cand = (e if e > busy else busy, _PRIO_DEMAND,
+                        queue[0].arrival, _OP_PRE, "conflict", 0)
+        else:
+            queue = ctx.queue
+            while queue[0].completed is not None:
+                queue.popleft()
+            head = queue[0]
+            e = bank.next_act
+            cand = (e if e > busy else busy, _PRIO_DEMAND,
+                    head.arrival, _OP_ACT, head, 0)
+        ctx.cand = cand
+        ctx.dirty = False
+        return cand
+
+    def _reindex(self, ctx: _BankCtx, generation: int) -> None:
+        """Re-translate every live queued request in one batch.
+
+        Runs once per observed translation-generation bump (instead of
+        once per candidate scan); also compacts lazily-retired requests
+        out of the queue.
+        """
+        addr = ctx.addr
+        translate = self.mitigation.translate
+        live: Deque[MemoryRequest] = deque()
+        index: Dict[int, Deque[MemoryRequest]] = {}
+        for request in ctx.queue:
+            if request.completed is not None:
+                continue
+            da_row = translate(addr, request.location.row)
+            request.da_row = da_row
+            request.da_generation = generation
+            rows = index.get(da_row)
+            if rows is None:
+                index[da_row] = rows = deque()
+            rows.append(request)
+            live.append(request)
+        ctx.queue = live
+        ctx.hit_index = index
+        ctx.index_gen = generation
+
+    def _translation_changed(self, addr: BankAddress) -> None:
+        """Mitigation hook: a bank's PA-to-DA mapping changed."""
+        ctx = self._ctx.get(addr)
+        if ctx is not None:
+            ctx.dirty = True
 
     def _refresh_candidate(self, channel: int, rank_index: int,
                            tracker: RefreshTracker, chan):
+        # One pass over the rank's banks: if any bank is open, the best
+        # (earliest, first-in-bank-order) PRE drains it; otherwise the
+        # REF issues once every bank is REF-ready and the tracker is
+        # due.  Bank earliest-issue is inlined (max of the exposed
+        # next_*/busy_until fields) -- this runs for every candidate
+        # scan of a refresh-draining rank.
         banks = self._rank_banks[(channel, rank_index)]
-        open_ctxs = [c for c in banks if c.bank.open_row is not None]
-        if open_ctxs:
-            best = None
-            for ctx in open_ctxs:
-                earliest = chan.earliest_command(
-                    ctx.bank.earliest_issue(CommandType.PRE, 0))
-                cand = (earliest, _PRIO_REFRESH, 0, _OP_PRE, ctx, None)
-                if best is None or cand[:3] < best[:3]:
-                    best = cand
+        best = None
+        ref_earliest = tracker.next_due
+        for ctx in banks:
+            bank = ctx.bank
+            if bank.open_row is not None:
+                e = bank.next_pre
+                if e < bank.busy_until:
+                    e = bank.busy_until
+                e = chan.earliest_command(e)
+                if best is None or e < best[0]:
+                    best = (e, _PRIO_REFRESH, 0, _OP_PRE, ctx, None)
+            else:
+                e = bank.next_act  # REF needs the bank precharged
+                if e < bank.busy_until:
+                    e = bank.busy_until
+                if e > ref_earliest:
+                    ref_earliest = e
+        if best is not None:
             return best
-        earliest = max(c.bank.earliest_issue(CommandType.REF, 0)
-                       for c in banks)
-        earliest = max(earliest, tracker.next_due)
-        earliest = chan.earliest_command(earliest)
+        earliest = chan.earliest_command(ref_earliest)
         return (earliest, _PRIO_REFRESH, 0, _OP_REF,
                 (channel, rank_index, tracker, banks, chan), None)
 
@@ -257,56 +489,15 @@ class MemoryController:
             bank.earliest_issue(CommandType.RFM, 0))
         return (earliest, _PRIO_RFM, 0, _OP_RFM, ctx, None)
 
-    def _demand_candidate(self, ctx: _BankCtx, chan, timing, mitigation):
-        bank = ctx.bank
-        queue = ctx.queue
-        open_row = bank.open_row
-        if open_row is not None:
-            generation = mitigation.translation_generation(ctx.addr)
-            hit = None
-            for req in queue:
-                if req.da_generation != generation:
-                    req.da_row = mitigation.translate(ctx.addr,
-                                                      req.location.row)
-                    req.da_generation = generation
-                if req.da_row == open_row:
-                    hit = req
-                    break
-            if hit is not None:
-                if hit.is_write:
-                    earliest = bank.earliest_issue(CommandType.WR, 0)
-                    data_lead = timing.tCWL
-                else:
-                    earliest = bank.earliest_issue(CommandType.RD, 0)
-                    data_lead = timing.tCL
-                rank = self.device.ranks[ctx.rank_key]
-                earliest = rank.earliest_column(earliest, ctx.group)
-                earliest = chan.earliest_command(earliest)
-                earliest = max(
-                    earliest,
-                    chan.earliest_data(earliest + data_lead) - data_lead)
-                return (earliest, _PRIO_HIT, hit.arrival, _OP_COL, ctx, hit)
-            earliest = chan.earliest_command(
-                bank.earliest_issue(CommandType.PRE, 0))
-            return (earliest, _PRIO_DEMAND, queue[0].arrival, _OP_PRE,
-                    ctx, "conflict")
-        req = queue[0]
-        rank = self.device.ranks[ctx.rank_key]
-        earliest = bank.earliest_issue(CommandType.ACT, 0)
-        earliest = rank.earliest_act(earliest, ctx.group)
-        earliest = chan.earliest_command(earliest)
-        earliest = mitigation.before_activate(ctx.addr, req.location.row,
-                                              earliest)
-        return (earliest, _PRIO_DEMAND, req.arrival, _OP_ACT, ctx, req)
-
     # -- candidate execution ------------------------------------------------------------
 
     def _execute(self, cand) -> Optional[Tuple[MemoryRequest, int]]:
         cycle, _prio, _age, op, target, payload = cand
         if op == _OP_PRE:
             ctx = target
-            self.device.channels[ctx.addr.channel].record_command(cycle)
+            self._chans[ctx.addr.channel].record_command(cycle)
             ctx.bank.issue_pre(cycle)
+            ctx.dirty = True
             if payload == "conflict":
                 ctx.bank.stats.row_conflicts += 1
             return None
@@ -324,7 +515,7 @@ class MemoryController:
                 request: MemoryRequest) -> None:
         addr = ctx.addr
         bank = ctx.bank
-        chan = self.device.channels[addr.channel]
+        chan = self._chans[addr.channel]
         mitigation = self.mitigation
         generation = mitigation.translation_generation(addr)
         if request.da_generation != generation or request.da_row is None:
@@ -332,7 +523,7 @@ class MemoryController:
             request.da_generation = generation
         da_row = request.da_row
         chan.record_command(cycle)
-        self.device.ranks[ctx.rank_key].record_act(cycle, ctx.group)
+        ctx.rank.record_act(cycle, ctx.group)
         bank.issue_act(da_row, cycle, extra_latency=self._act_extra)
         bank.stats.row_misses += 1
         if self.raa is not None:
@@ -352,15 +543,17 @@ class MemoryController:
             if outcome.restored_rows and self.observer is not None:
                 for row in outcome.restored_rows:
                     self.observer.on_row_refresh(addr, row, cycle)
+        ctx.dirty = True
         return None
 
     def _do_column(self, cycle: int, ctx: _BankCtx,
                    request: MemoryRequest) -> Tuple[MemoryRequest, int]:
         bank = ctx.bank
-        chan = self.device.channels[ctx.addr.channel]
+        addr = ctx.addr
+        chan = self._chans[addr.channel]
         timing = self._timing
         chan.record_command(cycle)
-        self.device.ranks[ctx.rank_key].record_column(cycle, ctx.group)
+        ctx.rank.record_column(cycle, ctx.group)
         if request.is_write:
             done = bank.issue_wr(cycle)
             chan.record_data(cycle + timing.tCWL, timing.tBL)
@@ -368,9 +561,25 @@ class MemoryController:
             done = bank.issue_rd(cycle)
             chan.record_data(cycle + timing.tCL, timing.tBL)
         bank.stats.row_hits += 1  # column commands served from the open row
-        ctx.queue.remove(request)
+        # O(1) retirement: the hit is by construction the head of its
+        # row's FIFO in the hit index; the queue deque drops it lazily.
+        rows = ctx.hit_index.get(request.da_row)
+        if rows is not None:
+            if rows and rows[0] is request:
+                rows.popleft()
+            else:  # stale index entry; fall back to a linear remove
+                try:
+                    rows.remove(request)
+                except ValueError:
+                    pass
+            if not rows:
+                del ctx.hit_index[request.da_row]
         request.issued = cycle
         request.completed = done
+        ctx.pending -= 1
+        ctx.dirty = True
+        self._pending_chan[addr.channel] -= 1
+        self._pending_total -= 1
         return request, done
 
     def _do_ref(self, cycle: int, target) -> None:
@@ -379,6 +588,7 @@ class MemoryController:
         lo, hi = tracker.record_ref(cycle)
         for ctx in banks:
             ctx.bank.issue_ref(cycle)
+            ctx.dirty = True
             if self.raa is not None:
                 self.raa.on_ref(ctx.addr)
             self.mitigation.on_ref(ctx.addr, lo, hi, cycle)
@@ -389,13 +599,14 @@ class MemoryController:
 
     def _do_rfm(self, cycle: int, ctx: _BankCtx) -> None:
         addr = ctx.addr
-        chan = self.device.channels[addr.channel]
+        chan = self._chans[addr.channel]
         chan.record_command(cycle)
         outcome = self.mitigation.on_rfm(addr, cycle)
         duration = self._timing.tRFM
         if self.config.strict_rfm_window:
             duration = max(duration, outcome.duration)
         ctx.bank.issue_rfm(cycle, duration)
+        ctx.dirty = True
         self.raa.on_rfm(addr)
         if self.observer is not None:
             for row in outcome.refreshed_rows:
@@ -407,8 +618,19 @@ class MemoryController:
     # -- idle bookkeeping ---------------------------------------------------------------
 
     def _idle_wake(self, channel: int, until: int) -> Optional[int]:
-        wakes = []
-        for (ch, _rk), tracker in self.refresh.items():
-            if ch == channel and tracker.next_due > until:
-                wakes.append(tracker.next_due)
-        return min(wakes) if wakes else None
+        """Next obligation on an otherwise idle channel.
+
+        A tracker whose horizon has already passed (``next_due <=
+        until``) normally produced a refresh candidate this drain; if it
+        did not (defensively: a future scheduling path that suppresses
+        the REF), report a wake immediately after ``until`` rather than
+        dropping the obligation -- a due refresh must never starve.
+        """
+        wake = None
+        for _rank_index, tracker in self._chan_refresh[channel]:
+            due = tracker.next_due
+            if due <= until:
+                due = until + 1
+            if wake is None or due < wake:
+                wake = due
+        return wake

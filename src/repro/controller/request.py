@@ -11,7 +11,7 @@ from repro.controller.address import MemoryLocation
 _ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryRequest:
     """One cache-line memory request.
 

@@ -16,12 +16,21 @@ from repro.dram.device import BankAddress
 
 @dataclass
 class RaaCounterBank:
-    """The full set of per-bank RAA counters."""
+    """The full set of per-bank RAA counters.
+
+    ``due_count`` tracks how many banks currently sit at or above RAAIMT
+    so the scheduler can skip the per-bank scan entirely in the common
+    no-RFM-owed case (:meth:`banks_needing_rfm` is only called when
+    ``due_count`` is non-zero).  Iteration order of the scan is the
+    counters dict's insertion order, which the scheduler's tie-breaking
+    depends on -- do not replace the dict with a set of due banks.
+    """
 
     raaimt: int
     ref_credit: int = None  # decrement applied per REF; defaults to RAAIMT
     counters: Dict[BankAddress, int] = field(default_factory=dict)
     rfms_issued: int = 0
+    due_count: int = 0
 
     def __post_init__(self) -> None:
         if self.raaimt <= 0:
@@ -30,12 +39,17 @@ class RaaCounterBank:
             self.ref_credit = self.raaimt
         if self.ref_credit < 0:
             raise ValueError("ref_credit must be non-negative")
+        self.due_count = sum(1 for c in self.counters.values()
+                             if c >= self.raaimt)
 
     def count(self, addr: BankAddress) -> int:
         return self.counters.get(addr, 0)
 
     def on_activate(self, addr: BankAddress) -> None:
-        self.counters[addr] = self.count(addr) + 1
+        value = self.counters.get(addr, 0) + 1
+        self.counters[addr] = value
+        if value == self.raaimt:
+            self.due_count += 1
 
     def rfm_needed(self, addr: BankAddress) -> bool:
         return self.count(addr) >= self.raaimt
@@ -48,8 +62,15 @@ class RaaCounterBank:
             raise RuntimeError(
                 "RFM issued to a bank whose RAA count is below RAAIMT"
             )
-        self.counters[addr] = self.count(addr) - self.raaimt
+        value = self.counters[addr] - self.raaimt
+        self.counters[addr] = value
+        if value < self.raaimt:
+            self.due_count -= 1
         self.rfms_issued += 1
 
     def on_ref(self, addr: BankAddress) -> None:
-        self.counters[addr] = max(0, self.count(addr) - self.ref_credit)
+        old = self.counters.get(addr, 0)
+        new = max(0, old - self.ref_credit)
+        self.counters[addr] = new
+        if old >= self.raaimt > new:
+            self.due_count -= 1

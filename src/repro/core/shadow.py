@@ -105,6 +105,9 @@ class Shadow(Mitigation):
     def on_rfm(self, addr: BankAddress, cycle: int) -> RfmOutcome:
         self._require_bound()
         refreshed, copies = self.controller(addr).run_rfm()
+        # run_rfm bumps the bank's translation generation on every call
+        # (a shuffle always executes), so always invalidate.
+        self.notify_translation_changed(addr)
         duration = self.timings.rfm_work_cycles(copies=len(copies))
         return RfmOutcome(duration=duration, refreshed_rows=refreshed,
                           copies=copies)

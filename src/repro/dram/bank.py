@@ -58,7 +58,13 @@ class Bank:
     busy_until: int = 0                # REF/RFM/mitigation blocking window
 
     def __post_init__(self) -> None:
-        self._t = self.timing
+        t = self.timing
+        self._t = t
+        # Composite delays used on every column command, summed once.
+        self._rd_done = t.tCL + t.tBL
+        self._wr_done = t.tCWL + t.tBL
+        self._wr_to_rd = t.tCWL + t.tBL + t.tWTR_L
+        self._wr_to_pre = t.tCWL + t.tBL + t.tWR
 
     # -- queries --------------------------------------------------------------
 
@@ -124,7 +130,7 @@ class Bank:
         self.next_wr = max(self.next_wr, cycle + t.tCCD_L)
         self.next_pre = max(self.next_pre, cycle + t.tRTP)
         self.stats.reads += 1
-        return cycle + t.tCL + t.tBL
+        return cycle + self._rd_done
 
     def issue_wr(self, cycle: int) -> int:
         """Issue WR; returns the cycle the write burst completes."""
@@ -133,10 +139,10 @@ class Bank:
                       "WR issued before its timing constraints allow")
         t = self._t
         self.next_wr = cycle + t.tCCD_L
-        self.next_rd = max(self.next_rd, cycle + t.tCWL + t.tBL + t.tWTR_L)
-        self.next_pre = max(self.next_pre, cycle + t.tCWL + t.tBL + t.tWR)
+        self.next_rd = max(self.next_rd, cycle + self._wr_to_rd)
+        self.next_pre = max(self.next_pre, cycle + self._wr_to_pre)
         self.stats.writes += 1
-        return cycle + t.tCWL + t.tBL
+        return cycle + self._wr_done
 
     def issue_ref(self, cycle: int) -> int:
         """All-bank refresh touching this bank; returns completion cycle."""

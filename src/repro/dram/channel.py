@@ -11,11 +11,25 @@ from __future__ import annotations
 class ChannelTiming:
     """Occupancy tracking for one channel's command and data buses."""
 
+    __slots__ = ("_cmd_free_at", "_data_free_at", "_blocked_until",
+                 "blocked_cycles")
+
     def __init__(self):
         self._cmd_free_at = 0
         self._data_free_at = 0
         self._blocked_until = 0
         self.blocked_cycles = 0   # total channel-blocking time (RRS swaps)
+
+    def floors(self):
+        """``(command_floor, data_floor)``: the earliest cycles either bus
+        is free.  Both are constant between issued commands, so the
+        scheduler hoists them once per candidate-selection pass instead
+        of calling :meth:`earliest_command` per bank."""
+        blocked = self._blocked_until
+        cmd = self._cmd_free_at
+        data = self._data_free_at
+        return ((cmd if cmd > blocked else blocked),
+                (data if data > blocked else blocked))
 
     # -- command bus -----------------------------------------------------------
 

@@ -22,6 +22,9 @@ _FAR_PAST = -(10**12)
 class RankTiming:
     """Sliding-window tracker for rank-wide ACT/column constraints."""
 
+    __slots__ = ("_t", "_act_times", "_last_act", "_last_act_group",
+                 "_group_last_act", "_last_col", "_last_col_group")
+
     def __init__(self, timing: TimingParams):
         self._t = timing
         self._act_times: Deque[int] = deque(maxlen=4)

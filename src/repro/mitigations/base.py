@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.dram.device import BankAddress, DramGeometry
 from repro.dram.timing import TimingParams
@@ -71,6 +71,7 @@ class Mitigation(abc.ABC):
     def __init__(self) -> None:
         self.geometry: Optional[DramGeometry] = None
         self.timing: Optional[TimingParams] = None
+        self._translation_listeners: List[Callable[[BankAddress], None]] = []
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -122,6 +123,30 @@ class Mitigation(abc.ABC):
         changes.  Static schemes return a constant so the controller can
         cache translations per request."""
         return 0
+
+    # -- invalidation hooks -------------------------------------------------------
+
+    def register_translation_listener(
+            self, callback: Callable[[BankAddress], None]) -> None:
+        """Subscribe to PA-to-DA mapping changes.
+
+        The memory controller registers here so a translation-generation
+        bump (a SHADOW shuffle, an RRS swap) invalidates exactly the
+        affected bank's cached scheduling state.  Wrappers delegating
+        :meth:`translate` to an inner scheme must forward registration
+        to that scheme.
+        """
+        self._translation_listeners.append(callback)
+
+    def notify_translation_changed(self, addr: BankAddress) -> None:
+        """Tell listeners ``addr``'s mapping (and generation) changed.
+
+        Dynamic schemes MUST call this whenever they bump a bank's
+        translation generation; controllers may otherwise serve stale
+        cached candidates for that bank.
+        """
+        for callback in self._translation_listeners:
+            callback(addr)
 
     # -- event hooks ------------------------------------------------------------
 

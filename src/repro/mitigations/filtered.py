@@ -76,6 +76,11 @@ class FilteredRfm(Mitigation):
     def translation_generation(self, addr: BankAddress) -> int:
         return self.inner.translation_generation(addr)
 
+    def register_translation_listener(self, callback) -> None:
+        # Translation is delegated to the inner scheme, so its bumps are
+        # the ones listeners care about.
+        self.inner.register_translation_listener(callback)
+
     def before_activate(self, addr: BankAddress, pa_row: int,
                         cycle: int) -> int:
         return self.inner.before_activate(addr, pa_row, cycle)

@@ -126,6 +126,7 @@ class RandomizedRowSwap(Mitigation):
         table = self._table(addr)
         old_a, old_b = table.translate(pa_row), table.translate(partner)
         table.swap(pa_row, partner)
+        self.notify_translation_changed(addr)
         tracker.reset_key(pa_row)
         tracker.reset_key(partner)
         self.swaps += 1

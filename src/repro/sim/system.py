@@ -168,8 +168,10 @@ class System:
                 if not thread.drained and thread.can_issue(cycle):
                     push(cycle, "thread", thread.thread_id)
 
-            if all(t.finished for t in self.threads) \
-                    and self.mc.pending_requests() == 0:
+            # pending_requests() is an O(1) counter read; check it first
+            # so the common not-done case skips the thread scan.
+            if self.mc.pending_requests() == 0 \
+                    and all(t.finished for t in self.threads):
                 break
 
         stats = self.device.aggregate_stats()

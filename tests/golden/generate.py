@@ -1,0 +1,162 @@
+"""Golden scheduler-equivalence scenarios and command-stream capture.
+
+This module is the single source of truth for the golden suite: the
+scenario definitions, the command-stream capture hook, and the recorded
+fields all live here.  ``python tests/golden/generate.py`` (re)writes
+``scheduler_golden.json`` next to it; ``tests/test_scheduler_equivalence.py``
+imports this module and asserts the current controller reproduces the
+recorded values *exactly* -- same ``SystemResult``, same per-bank command
+stream (op, row, cycle), same mitigation-visible side effects.
+
+The committed golden file was generated against the seed (pre-PR2)
+controller, so these tests prove the incremental scheduler is
+cycle-identical to the original full-recompute scheduler.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.core import Shadow, ShadowConfig
+from repro.dram.device import DramGeometry
+from repro.dram.subarray import SubarrayLayout
+from repro.mitigations import BlockHammer, NoMitigation, RandomizedRowSwap
+from repro.sim import System, SystemConfig
+from repro.utils.rng import SystemRng
+from repro.workloads.trace import WorkloadProfile
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "scheduler_golden.json"
+
+GEOMETRY = DramGeometry(
+    channels=2, ranks_per_channel=1, banks_per_rank=8,
+    layout=SubarrayLayout(subarrays_per_bank=4, rows_per_subarray=64),
+    columns_per_row=64,
+)
+
+#: Hot zipf traffic concentrates ACTs so the tracker-based schemes (RRS
+#: swaps, BlockHammer throttles) actually fire inside a short run.
+_HOT = WorkloadProfile(
+    name="golden-hot", mpki=40.0, row_buffer_locality=0.2,
+    write_fraction=0.25, footprint_pages=96, zipf_alpha=1.1)
+_STREAM = WorkloadProfile(
+    name="golden-stream", mpki=30.0, row_buffer_locality=0.85,
+    write_fraction=0.2, footprint_pages=64, sequential=True)
+
+THREADS = [_HOT, _STREAM, _HOT]
+REQUESTS_PER_THREAD = 400
+SEED = 13
+
+
+def make_mitigation(scheme: str):
+    if scheme == "none":
+        return NoMitigation()
+    if scheme == "shadow":
+        return Shadow(ShadowConfig(raaimt=16, rng_kind="system", rng_seed=5))
+    if scheme == "rrs":
+        return RandomizedRowSwap.for_hcnt(12, rng=SystemRng(99))
+    if scheme == "blockhammer":
+        return BlockHammer.for_hcnt(16, rate_scale=64.0)
+    raise ValueError(f"unknown golden scheme {scheme!r}")
+
+
+SCHEMES = ("none", "shadow", "rrs", "blockhammer")
+
+
+def build_system(scheme: str):
+    mitigation = make_mitigation(scheme)
+    config = SystemConfig(geometry=GEOMETRY, seed=SEED,
+                          requests_per_thread=REQUESTS_PER_THREAD)
+    return System(list(THREADS), mitigation, config=config), mitigation
+
+
+# -- command-stream capture ----------------------------------------------------------
+
+_BANK_COMMANDS = ("issue_act", "issue_pre", "issue_rd", "issue_wr",
+                  "issue_ref", "issue_rfm")
+
+
+def run_captured(system):
+    """Run ``system`` recording every bank command as a text event.
+
+    Events are ``"<ch>.<rk>.<bk> <OP> [row] @<cycle>"`` in issue order;
+    the digest over the joined stream is the cycle-identical fingerprint
+    two scheduler implementations must share.
+    """
+    from repro.dram.bank import Bank
+
+    addr_of = {id(bank): addr for addr, bank in system.device.banks.items()}
+    events = []
+    originals = {}
+
+    def make_wrapper(name, orig):
+        def wrapped(self, *args, **kwargs):
+            out = orig(self, *args, **kwargs)
+            addr = addr_of.get(id(self))
+            if addr is not None:
+                where = f"{addr.channel}.{addr.rank}.{addr.bank}"
+                if name == "issue_act":
+                    events.append(f"{where} ACT {args[0]} @{args[1]}")
+                else:
+                    events.append(f"{where} {name[6:].upper()} @{args[0]}")
+            return out
+        return wrapped
+
+    for name in _BANK_COMMANDS:
+        originals[name] = getattr(Bank, name)
+        setattr(Bank, name, make_wrapper(name, originals[name]))
+    try:
+        result = system.run()
+    finally:
+        for name, orig in originals.items():
+            setattr(Bank, name, orig)
+    digest = hashlib.sha256("\n".join(events).encode()).hexdigest()
+    return result, digest, len(events)
+
+
+# -- recorded fields -----------------------------------------------------------------
+
+def scenario_record(scheme: str) -> dict:
+    system, mitigation = build_system(scheme)
+    result, digest, n_events = run_captured(system)
+    stats = result.stats
+    record = {
+        "cycles": result.cycles,
+        "thread_finish_cycles": list(result.thread_finish_cycles),
+        "reads_completed": result.reads_completed,
+        "requests_issued": result.requests_issued,
+        "refreshes": result.refreshes,
+        "rfms": result.rfms,
+        "mitigation_name": result.mitigation_name,
+        "stats": {name: getattr(stats, name) for name in vars(stats)},
+        "command_stream_sha256": digest,
+        "command_stream_events": n_events,
+    }
+    if scheme == "shadow":
+        record["shuffles"] = mitigation.total_shuffles()
+    elif scheme == "rrs":
+        record["swaps"] = mitigation.swaps
+    elif scheme == "blockhammer":
+        record["throttled_acts"] = mitigation.throttled_acts
+        record["total_delay_cycles"] = mitigation.total_delay_cycles
+    return record
+
+
+def generate() -> dict:
+    golden = {scheme: scenario_record(scheme) for scheme in SCHEMES}
+    return golden
+
+
+def main() -> None:
+    golden = generate()
+    GOLDEN_PATH.write_text(json.dumps(golden, indent=2, sort_keys=True) + "\n",
+                           encoding="utf-8")
+    for scheme, record in golden.items():
+        print(f"{scheme:>12}: cycles={record['cycles']} "
+              f"events={record['command_stream_events']} "
+              f"sha={record['command_stream_sha256'][:12]}")
+
+
+if __name__ == "__main__":
+    main()

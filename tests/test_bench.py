@@ -1,0 +1,114 @@
+"""The bench harness: determinism, report I/O, regression gating."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    BENCH_PROFILES,
+    check_regression,
+    load_report,
+    run_bench,
+    write_report,
+)
+from repro.bench.harness import SCHEMA, run_one
+
+
+class TestProfiles:
+    def test_expected_profile_set(self):
+        assert set(BENCH_PROFILES) == {
+            "hit-heavy", "conflict-heavy", "shadow-rfm",
+            "refresh-dominated"}
+
+    def test_quick_build_is_smaller(self):
+        profile = BENCH_PROFILES["hit-heavy"]
+        quick = profile.build(quick=True)
+        full = profile.build(quick=False)
+        assert quick.config.requests_per_thread < \
+            full.config.requests_per_thread
+
+    def test_quick_run_is_deterministic(self):
+        entry_a = run_one(BENCH_PROFILES["refresh-dominated"], quick=True)
+        entry_b = run_one(BENCH_PROFILES["refresh-dominated"], quick=True)
+        for key in ("cycles", "requests", "acts", "row_hits",
+                    "refreshes", "rfms"):
+            assert entry_a[key] == entry_b[key]
+        assert entry_a["cycles"] > 0
+
+    def test_cprofile_rows(self):
+        entry = run_one(BENCH_PROFILES["refresh-dominated"], quick=True,
+                        with_cprofile=True, top_n=5)
+        rows = entry["cprofile_top"]
+        assert 0 < len(rows) <= 5
+        assert all({"function", "ncalls", "tottime_s", "cumtime_s"}
+                   <= set(row) for row in rows)
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown bench profiles"):
+            run_bench(names=["no-such-profile"], log=None)
+
+
+class TestReportIO:
+    def test_write_merges_variants(self, tmp_path):
+        path = tmp_path / "bench.json"
+        quick = run_bench(names=["refresh-dominated"], quick=True,
+                          log=None)
+        write_report(path, "quick", quick)
+        write_report(path, "full", quick, extra={"pre_pr": {"x": 1}})
+        report = load_report(path)
+        assert report["schema"] == SCHEMA
+        assert set(report["variants"]) == {"quick", "full"}
+        assert report["pre_pr"] == {"x": 1}
+        assert "refresh-dominated" in report["variants"]["quick"]
+
+    def test_rewrite_preserves_other_variants(self, tmp_path):
+        path = tmp_path / "bench.json"
+        results = {"p": {"cycles_per_s": 100.0}}
+        write_report(path, "quick", results)
+        write_report(path, "full", {"p": {"cycles_per_s": 200.0}})
+        report = load_report(path)
+        assert report["variants"]["quick"]["p"]["cycles_per_s"] == 100.0
+
+
+class TestRegressionGate:
+    BASE = {"variants": {"quick": {
+        "p": {"cycles_per_s": 1000.0},
+        "q": {"cycles_per_s": 500.0},
+    }}}
+
+    def test_pass_within_threshold(self):
+        results = {"p": {"cycles_per_s": 800.0},
+                   "q": {"cycles_per_s": 495.0}}
+        assert check_regression(results, self.BASE, "quick", 0.30) == []
+
+    def test_fail_below_threshold(self):
+        results = {"p": {"cycles_per_s": 600.0}}
+        failures = check_regression(results, self.BASE, "quick", 0.30)
+        assert len(failures) == 1
+        assert "p:" in failures[0]
+
+    def test_new_profile_allowed(self):
+        results = {"brand-new": {"cycles_per_s": 1.0}}
+        assert check_regression(results, self.BASE, "quick", 0.30) == []
+
+    def test_missing_variant_is_not_a_failure(self):
+        results = {"p": {"cycles_per_s": 1.0}}
+        assert check_regression(results, self.BASE, "full", 0.30) == []
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            check_regression({}, self.BASE, "quick", 1.5)
+
+
+class TestCommittedReport:
+    def test_bench_pr2_report_shape(self):
+        report = load_report(
+            Path(__file__).resolve().parents[1] / "BENCH_PR2.json")
+        assert report["schema"] == SCHEMA
+        for variant in ("quick", "full"):
+            profiles = report["variants"][variant]
+            assert set(profiles) == set(BENCH_PROFILES)
+            for entry in profiles.values():
+                assert entry["cycles_per_s"] > 0
+        speedup = report["speedup_full_vs_pre_pr"]
+        assert speedup["geomean"] >= 2.0
