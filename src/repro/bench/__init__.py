@@ -11,17 +11,21 @@ trajectory.  CI runs the quick variant and fails on large regressions.
 from repro.bench.harness import (
     BENCH_PROFILES,
     BenchProfile,
+    check_overhead,
     check_regression,
     load_report,
     run_bench,
+    run_overhead,
     write_report,
 )
 
 __all__ = [
     "BENCH_PROFILES",
     "BenchProfile",
+    "check_overhead",
     "check_regression",
     "load_report",
     "run_bench",
+    "run_overhead",
     "write_report",
 ]

@@ -9,6 +9,8 @@ script) bundles the common flows:
 * ``experiment``-- run a paper table/figure driver by name
 * ``templating``-- templating campaign (static vs SHADOW)
 * ``bench``     -- pinned scheduler benchmarks (throughput + profiling)
+* ``stats``     -- run a workload with metrics on and print the summary
+* ``trace``     -- export a run as a Chrome/Perfetto or JSONL trace
 """
 
 from __future__ import annotations
@@ -31,6 +33,8 @@ from repro.mitigations import (
 )
 from repro.rowhammer.templating import TemplatingCampaign
 from repro.sim import System, SystemConfig
+from repro.utils.logsetup import setup_logging
+from repro.version import __version__
 from repro.workloads import SPEC_PROFILES, mix_blend, mix_high
 
 SCHEMES = {
@@ -68,18 +72,22 @@ def make_scheme(name: str, hcnt: int):
                      f"{sorted(SCHEMES)}")
 
 
+def resolve_profiles(workload: str, threads: int):
+    """Map a CLI workload name to the thread profile list."""
+    if workload in SPEC_PROFILES:
+        return [SPEC_PROFILES[workload]] * threads
+    if workload == "mix-high":
+        return mix_high(threads)
+    if workload == "mix-blend":
+        return mix_blend(threads)
+    raise SystemExit(
+        f"unknown workload {workload!r}; use a SPEC app name, "
+        f"'mix-high' or 'mix-blend'")
+
+
 def cmd_run(args) -> int:
     """Handle ``shadow-repro run``."""
-    if args.workload in SPEC_PROFILES:
-        profiles = [SPEC_PROFILES[args.workload]] * args.threads
-    elif args.workload == "mix-high":
-        profiles = mix_high(args.threads)
-    elif args.workload == "mix-blend":
-        profiles = mix_blend(args.threads)
-    else:
-        raise SystemExit(
-            f"unknown workload {args.workload!r}; use a SPEC app name, "
-            f"'mix-high' or 'mix-blend'")
+    profiles = resolve_profiles(args.workload, args.threads)
     mitigation = make_scheme(args.scheme, args.hcnt)
     config = SystemConfig(requests_per_thread=args.requests,
                           seed=args.seed)
@@ -89,6 +97,78 @@ def cmd_run(args) -> int:
     print(f"cycles={result.cycles} requests={result.requests_issued} "
           f"acts={result.stats.acts} row_hits={result.stats.row_hits} "
           f"refreshes={result.refreshes} rfms={result.rfms}")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """Handle ``shadow-repro stats``: a run with full metrics on."""
+    from repro.obs import Observability
+
+    profiles = resolve_profiles(args.workload, args.threads)
+    mitigation = make_scheme(args.scheme, args.hcnt)
+    config = SystemConfig(requests_per_thread=args.requests,
+                          seed=args.seed)
+    obs = Observability(metrics=True,
+                        sample_interval=args.sample_interval)
+    result = System(profiles, mitigation, config=config, obs=obs).run()
+    obs.close()
+    s = obs.summary
+    cache = s["candidate_cache"]
+    print(f"workload={args.workload} threads={args.threads} "
+          f"scheme={result.mitigation_name} cycles={result.cycles}")
+    print(f"row-hit rate: {s['row_hit_rate']:.2%} "
+          f"({s['row_hits']} hits / {s['row_misses']} misses / "
+          f"{s['row_conflicts']} conflicts)")
+    print(f"commands: acts={s['acts']} reads={s['reads']} "
+          f"writes={s['writes']} refreshes={s['refreshes']} "
+          f"rfms={s['rfms']}")
+    print(f"candidate cache: {cache['hits']}/{cache['evals']} hits "
+          f"({cache['hit_rate']:.2%}), {cache['recomputes']} recomputes, "
+          f"{cache['translation_invalidations']} translation "
+          f"invalidations, {cache['reindexes']} reindexes")
+    print(f"raa: {s['raa_crossings']} threshold crossings", end="")
+    if "raa" in s:
+        print(f", raaimt={s['raa']['raaimt']} "
+              f"rfms_issued={s['raa']['rfms_issued']} "
+              f"due_banks={s['raa']['due_banks']} "
+              f"max_count={s['raa']['max_count']}")
+    else:
+        print(" (no RFM interface for this scheme)")
+    for ch, entry in enumerate(s["channels"]):
+        print(f"channel {ch}: commands={entry['commands']} "
+              f"data_busy={entry['data_busy_cycles']} "
+              f"blocked={entry['blocked_cycles']}")
+    if args.sample_interval:
+        print(f"snapshots: {s['snapshots']} "
+              f"(every {args.sample_interval} cycles)")
+    if args.json:
+        import json as _json
+        print(_json.dumps(s, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Handle ``shadow-repro trace``: export a run's event trace."""
+    from repro.obs import Observability
+
+    profiles = resolve_profiles(args.workload, args.threads)
+    mitigation = make_scheme(args.scheme, args.hcnt)
+    config = SystemConfig(requests_per_thread=args.requests,
+                          seed=args.seed)
+    if args.format == "chrome":
+        obs = Observability.to_chrome(
+            args.out, sample_interval=args.sample_interval)
+    else:
+        obs = Observability.to_jsonl(
+            args.out, sample_interval=args.sample_interval)
+    result = System(profiles, mitigation, config=config, obs=obs).run()
+    obs.close()
+    print(f"workload={args.workload} scheme={result.mitigation_name} "
+          f"cycles={result.cycles}")
+    print(f"wrote {obs.sink.events_written} events to {args.out} "
+          f"({args.format})")
+    if args.format == "chrome":
+        print("open in ui.perfetto.dev or chrome://tracing")
     return 0
 
 
@@ -142,15 +222,54 @@ def cmd_templating(args) -> int:
 def cmd_bench(args) -> int:
     """Handle ``shadow-repro bench`` (exit 1 on a baseline regression)."""
     from repro.bench import (
-        BENCH_PROFILES, check_regression, load_report, run_bench,
-        write_report)
+        BENCH_PROFILES, check_overhead, check_regression, load_report,
+        run_bench, run_overhead, write_report)
 
     names = args.profiles or None
     variant = "quick" if args.quick else "full"
+
+    if args.overhead:
+        try:
+            overhead = run_overhead(names=names, quick=args.quick,
+                                    repeats=args.repeats,
+                                    trace_dir=args.trace_dir,
+                                    retry_over=args.max_overhead)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        if args.trace_dir:
+            print(f"traces written under {args.trace_dir}")
+        failures = check_overhead(overhead, args.max_overhead)
+        if failures:
+            for message in failures:
+                print(f"OVERHEAD: {message}", file=sys.stderr)
+            return 1
+        print(f"instrumentation overhead within {args.max_overhead:.0%} "
+              f"on every profile")
+        return 0
+
+    obs_factory = None
+    if args.obs:
+        from repro.obs import Observability
+        if args.trace_dir:
+            from repro.bench.harness import _trace_obs_factory
+            # One factory per profile needs per-name paths; simplest is
+            # to run profiles individually below, so fall back to the
+            # in-memory sink when benching multiple profiles at once.
+            if names is not None and len(names) == 1:
+                obs_factory = _trace_obs_factory(args.trace_dir, names[0])
+            else:
+                raise SystemExit("--trace-dir with --obs needs exactly "
+                                 "one profile via --profiles (use "
+                                 "--overhead for the full set)")
+        else:
+            def obs_factory():
+                return Observability.in_memory(sample_interval=10_000)
+
     try:
         results = run_bench(names=names, quick=args.quick,
                             repeats=args.repeats,
-                            with_cprofile=args.profile)
+                            with_cprofile=args.profile,
+                            obs_factory=obs_factory)
     except ValueError as exc:
         raise SystemExit(str(exc))
     if args.profile:
@@ -204,6 +323,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="shadow-repro",
         description="SHADOW (HPCA 2023) reproduction toolkit")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
+    parser.add_argument("--log-level", default=None, metavar="LEVEL",
+                        choices=["debug", "info", "warning", "error",
+                                 "critical"],
+                        help="configure stdlib logging at this level")
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_p = sub.add_parser("run", help="simulate a workload")
@@ -215,6 +340,46 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--requests", type=int, default=2000)
     run_p.add_argument("--seed", type=int, default=1)
     run_p.set_defaults(func=cmd_run)
+
+    stats_p = sub.add_parser(
+        "stats", help="simulate with metrics on and print the summary")
+    stats_p.add_argument("--workload", default="mcf")
+    stats_p.add_argument("--scheme", default="shadow",
+                         choices=sorted(SCHEMES))
+    stats_p.add_argument("--hcnt", type=int, default=4096)
+    stats_p.add_argument("--threads", type=int, default=1)
+    stats_p.add_argument("--requests", type=int, default=2000)
+    stats_p.add_argument("--seed", type=int, default=1)
+    stats_p.add_argument("--sample-interval", type=int, default=0,
+                         metavar="CYCLES",
+                         help="periodic snapshots every N cycles "
+                              "(default: off)")
+    stats_p.add_argument("--json", action="store_true",
+                         help="also dump the full summary as JSON")
+    stats_p.set_defaults(func=cmd_stats)
+
+    trace_p = sub.add_parser(
+        "trace", help="export a run as a Chrome/Perfetto or JSONL trace")
+    trace_p.add_argument("--workload", default="mcf")
+    trace_p.add_argument("--scheme", default="shadow",
+                         choices=sorted(SCHEMES))
+    trace_p.add_argument("--hcnt", type=int, default=4096)
+    trace_p.add_argument("--threads", type=int, default=1)
+    trace_p.add_argument("--requests", type=int, default=2000)
+    trace_p.add_argument("--seed", type=int, default=1)
+    trace_p.add_argument("--out", default="shadow-repro.trace.json",
+                         metavar="PATH",
+                         help="output file (default: "
+                              "shadow-repro.trace.json)")
+    trace_p.add_argument("--format", default="chrome",
+                         choices=["chrome", "jsonl"],
+                         help="chrome = ui.perfetto.dev trace-event JSON; "
+                              "jsonl = line-per-event stream")
+    trace_p.add_argument("--sample-interval", type=int, default=10_000,
+                         metavar="CYCLES",
+                         help="counter-track snapshots every N cycles "
+                              "(0: off; default 10000)")
+    trace_p.set_defaults(func=cmd_trace)
 
     sec_p = sub.add_parser("security", help="Appendix XI bounds")
     sec_p.add_argument("--hcnt", type=int, default=4096)
@@ -266,6 +431,19 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="FRAC",
                          help="allowed cycles/s drop vs baseline "
                               "(default 0.30)")
+    bench_p.add_argument("--obs", action="store_true",
+                         help="run with full observability on (metrics + "
+                              "trace + sampler)")
+    bench_p.add_argument("--trace-dir", metavar="DIR",
+                         help="write Chrome traces of observability-on "
+                              "runs under this directory")
+    bench_p.add_argument("--overhead", action="store_true",
+                         help="measure instrumentation overhead: run each "
+                              "profile off and on, compare wall times")
+    bench_p.add_argument("--max-overhead", type=float, default=0.15,
+                         metavar="FRAC",
+                         help="allowed on-vs-off slowdown with --overhead "
+                              "(default 0.15)")
     bench_p.set_defaults(func=cmd_bench)
 
     return parser
@@ -275,6 +453,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Console entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.log_level:
+        setup_logging(args.log_level)
     return args.func(args)
 
 

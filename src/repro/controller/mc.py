@@ -95,7 +95,7 @@ class _BankCtx:
 
     __slots__ = ("addr", "bank", "queue", "rank", "rank_key", "rank_index",
                  "group", "pending", "in_active", "dirty", "cand",
-                 "hit_index", "index_gen")
+                 "hit_index", "index_gen", "track")
 
     def __init__(self, addr: BankAddress, bank, rank, rank_key, group):
         self.addr = addr
@@ -111,17 +111,20 @@ class _BankCtx:
         self.cand = None
         self.hit_index: Dict[int, Deque[MemoryRequest]] = {}
         self.index_gen = 0
+        self.track = 0  # trace lane id (assigned by the controller)
 
 
 class MemoryController:
     """One controller managing every channel of a :class:`DramDevice`."""
 
     def __init__(self, device: DramDevice, mitigation: Mitigation,
-                 observer=None, config: Optional[McConfig] = None):
+                 observer=None, config: Optional[McConfig] = None,
+                 obs=None):
         self.device = device
         self.mitigation = mitigation
         self.observer = observer
         self.config = config or McConfig()
+        self.obs = obs
 
         geometry = device.geometry
         mitigation.bind(geometry, device.timing)
@@ -181,6 +184,66 @@ class MemoryController:
 
         self.enqueued = 0
         self.retired = 0
+
+        # Scheduler-health counters.  The rare-path ones (recomputes,
+        # invalidations, reindexes, RAA crossings) are plain ints
+        # maintained unconditionally, like ``enqueued``/``retired``; the
+        # per-scan ones (evals/hits) are only accumulated when metrics
+        # are enabled, so the candidate reduce loop pays at most one
+        # pre-hoisted bool check per bank when observability is off.
+        self.cand_evals = 0
+        self.cand_hits = 0
+        self.cand_recomputes = 0
+        self.translation_invalidations = 0
+        self.reindexes = 0
+        self.raa_crossings = 0
+
+        # Observability wiring.  ``_trace``/``_metrics`` stay None when
+        # observability is off; every emission site below gates on that.
+        # ``_tbuf`` is the sink's shared tuple buffer: the per-command
+        # sites append to it directly (no bound-method call per event).
+        self._metrics = None
+        self._trace = None
+        self._tbuf = None
+        self._count = False
+        self._lat_hist = None
+        self._rank_tracks: Dict[Tuple[int, int], int] = {}
+        if obs is not None:
+            self._metrics = obs.metrics
+            self._trace = obs.sink
+            if self._trace is not None:
+                self._tbuf = self._trace.raw_buffer
+            self._count = self._metrics is not None
+            if self._count:
+                self._lat_hist = self._metrics.histogram(
+                    "request.latency_cycles")
+            mitigation.register_event_listener(self._mitigation_event)
+        # Trace lane layout: pid = channel; tid 1.. for banks in
+        # (rank, bank) order, then one lane per rank for REF spans.
+        bpr = geometry.banks_per_rank
+        rank_base = 1 + geometry.ranks_per_channel * bpr
+        for addr, ctx in self._ctx.items():
+            ctx.track = 1 + addr.rank * bpr + addr.bank
+        for ch in range(geometry.channels):
+            for rk in range(geometry.ranks_per_channel):
+                self._rank_tracks[(ch, rk)] = rank_base + rk
+        trace = self._trace
+        if trace is not None:
+            for ch in range(geometry.channels):
+                trace.declare_process(ch, f"channel {ch}")
+                for rk in range(geometry.ranks_per_channel):
+                    trace.declare_track(ch, self._rank_tracks[(ch, rk)],
+                                        f"rk{rk} REF")
+            for addr, ctx in self._ctx.items():
+                trace.declare_track(addr.channel, ctx.track,
+                                    f"rk{addr.rank}.bk{addr.bank}")
+        # Span durations for trace events, hoisted once.
+        timing = self._timing
+        self._dur_act = timing.tRCD + self._act_extra
+        self._dur_rd = timing.tCL + timing.tBL
+        self._dur_wr = timing.tCWL + timing.tBL
+        self._dur_pre = timing.tRP
+        self._dur_ref = timing.tRFC
 
     # -- request intake ----------------------------------------------------------
 
@@ -314,15 +377,25 @@ class MemoryController:
         tFAW = self._tFAW
         active = self._active[channel]
         removals = False
+        count = self._count
+        # evals/hits are derived after the loop: evals = len(active) -
+        # skipped, hits = evals - recomputes the loop triggered.  The
+        # skip paths are rare, so the hot per-candidate path carries no
+        # counting instructions at all.
+        skipped = 0
+        pre_recomputes = self.cand_recomputes if count else 0
         for ctx in active:
             if not ctx.pending:
                 removals = True
                 ctx.in_active = False
+                skipped += 1
                 continue
             if refresh_draining_ranks is not None and \
                     ctx.rank_index in refresh_draining_ranks:
+                skipped += 1
                 continue
             if rfm_banks is not None and ctx.addr in rfm_banks:
+                skipped += 1
                 continue
             cand = self._recompute(ctx) if ctx.dirty else ctx.cand
             e, prio, age, op, payload, lead = cand
@@ -368,6 +441,11 @@ class MemoryController:
                 have_best = True
                 best_e, best_p, best_a = e, prio, age
                 best_op, best_target, best_payload = op, ctx, payload
+        if count:
+            evals = len(active) - skipped
+            self.cand_evals += evals
+            self.cand_hits += \
+                evals - (self.cand_recomputes - pre_recomputes)
         if removals:
             self._active[channel] = [c for c in active if c.pending]
         if not have_best:
@@ -378,6 +456,7 @@ class MemoryController:
         """Rebuild a bank's cached candidate core after invalidation."""
         # Bank earliest-issue times are inlined as field maxes (see
         # Bank.earliest_issue) -- this is the single hottest helper.
+        self.cand_recomputes += 1
         bank = ctx.bank
         open_row = bank.open_row
         busy = bank.busy_until
@@ -422,6 +501,7 @@ class MemoryController:
         once per candidate scan); also compacts lazily-retired requests
         out of the queue.
         """
+        self.reindexes += 1
         addr = ctx.addr
         translate = self.mitigation.translate
         live: Deque[MemoryRequest] = deque()
@@ -443,9 +523,27 @@ class MemoryController:
 
     def _translation_changed(self, addr: BankAddress) -> None:
         """Mitigation hook: a bank's PA-to-DA mapping changed."""
+        self.translation_invalidations += 1
         ctx = self._ctx.get(addr)
         if ctx is not None:
             ctx.dirty = True
+
+    def _mitigation_event(self, kind: str, addr: BankAddress, cycle: int,
+                          payload: Dict) -> None:
+        """Mitigation event hook (shuffles, swaps, throttles).
+
+        Registered only when observability is on, so mitigations with no
+        listeners never build event payloads.
+        """
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.counter(f"mitigation.{kind}").inc()
+        trace = self._trace
+        if trace is not None:
+            ctx = self._ctx.get(addr)
+            track = ctx.track if ctx is not None else 0
+            trace.instant(addr.channel, track, kind, "mitigation",
+                          cycle, payload)
 
     def _refresh_candidate(self, channel: int, rank_index: int,
                            tracker: RefreshTracker, chan):
@@ -500,6 +598,10 @@ class MemoryController:
             ctx.dirty = True
             if payload == "conflict":
                 ctx.bank.stats.row_conflicts += 1
+            if self._tbuf is not None:
+                self._tbuf.append(("X", ctx.addr.channel, ctx.track,
+                                   "PRE", "cmd", cycle, self._dur_pre,
+                                   None))
             return None
         if op == _OP_ACT:
             return self._do_act(cycle, target, payload)
@@ -527,7 +629,16 @@ class MemoryController:
         bank.issue_act(da_row, cycle, extra_latency=self._act_extra)
         bank.stats.row_misses += 1
         if self.raa is not None:
-            self.raa.on_activate(addr)
+            if self.raa.on_activate(addr):
+                self.raa_crossings += 1
+                if self._tbuf is not None:
+                    self._tbuf.append(("i", addr.channel, ctx.track,
+                                       "raa-cross", "rfm", cycle, None,
+                                       None))
+        if self._tbuf is not None:
+            self._tbuf.append(("X", addr.channel, ctx.track, "ACT",
+                               "cmd", cycle, self._dur_act,
+                               {"row": da_row}))
         if self.observer is not None:
             self.observer.on_activate(addr, da_row, cycle)
         outcome = mitigation.on_activate(addr, request.location.row,
@@ -561,6 +672,15 @@ class MemoryController:
             done = bank.issue_rd(cycle)
             chan.record_data(cycle + timing.tCL, timing.tBL)
         bank.stats.row_hits += 1  # column commands served from the open row
+        if self._tbuf is not None:
+            if request.is_write:
+                self._tbuf.append(("X", addr.channel, ctx.track, "WR",
+                                   "cmd", cycle, self._dur_wr, None))
+            else:
+                self._tbuf.append(("X", addr.channel, ctx.track, "RD",
+                                   "cmd", cycle, self._dur_rd, None))
+        if self._count:
+            self._lat_hist.observe(done - request.arrival)
         # O(1) retirement: the hit is by construction the head of its
         # row's FIFO in the hit index; the queue deque drops it lazily.
         rows = ctx.hit_index.get(request.da_row)
@@ -586,6 +706,10 @@ class MemoryController:
         channel, rank_index, tracker, banks, chan = target
         chan.record_command(cycle)
         lo, hi = tracker.record_ref(cycle)
+        if self._tbuf is not None:
+            self._tbuf.append(("X", channel, self._rank_tracks[
+                (channel, rank_index)], "REF", "cmd", cycle,
+                self._dur_ref, {"lo": lo, "hi": hi}))
         for ctx in banks:
             ctx.bank.issue_ref(cycle)
             ctx.dirty = True
@@ -608,6 +732,11 @@ class MemoryController:
         ctx.bank.issue_rfm(cycle, duration)
         ctx.dirty = True
         self.raa.on_rfm(addr)
+        if self._tbuf is not None:
+            self._tbuf.append(("X", addr.channel, ctx.track, "RFM",
+                               "rfm", cycle, duration,
+                               {"refreshed": len(outcome.refreshed_rows),
+                                "copies": len(outcome.copies)}))
         if self.observer is not None:
             for row in outcome.refreshed_rows:
                 self.observer.on_row_refresh(addr, row, cycle)

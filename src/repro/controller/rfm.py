@@ -45,11 +45,16 @@ class RaaCounterBank:
     def count(self, addr: BankAddress) -> int:
         return self.counters.get(addr, 0)
 
-    def on_activate(self, addr: BankAddress) -> None:
+    def on_activate(self, addr: BankAddress) -> bool:
+        """Count one ACT; returns True when this ACT crossed RAAIMT
+        (the bank just became RFM-due -- security telemetry hooks on
+        exactly these crossings)."""
         value = self.counters.get(addr, 0) + 1
         self.counters[addr] = value
         if value == self.raaimt:
             self.due_count += 1
+            return True
+        return False
 
     def rfm_needed(self, addr: BankAddress) -> bool:
         return self.count(addr) >= self.raaimt

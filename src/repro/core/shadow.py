@@ -108,6 +108,11 @@ class Shadow(Mitigation):
         # run_rfm bumps the bank's translation generation on every call
         # (a shuffle always executes), so always invalidate.
         self.notify_translation_changed(addr)
+        if self._event_listeners:
+            self.emit_event("shuffle", addr, cycle, {
+                "copies": [[src, dst] for src, dst in copies],
+                "refreshed_rows": list(refreshed),
+            })
         duration = self.timings.rfm_work_cycles(copies=len(copies))
         return RfmOutcome(duration=duration, refreshed_rows=refreshed,
                           copies=copies)

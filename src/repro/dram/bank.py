@@ -40,6 +40,12 @@ class BankStats:
         for name in vars(self):
             setattr(self, name, getattr(self, name) + getattr(other, name))
 
+    @property
+    def row_hit_rate(self) -> float:
+        """Fraction of row-buffer lookups that hit the open row."""
+        accesses = self.row_hits + self.row_misses
+        return self.row_hits / accesses if accesses else 0.0
+
 
 @dataclass
 class Bank:

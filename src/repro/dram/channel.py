@@ -12,13 +12,15 @@ class ChannelTiming:
     """Occupancy tracking for one channel's command and data buses."""
 
     __slots__ = ("_cmd_free_at", "_data_free_at", "_blocked_until",
-                 "blocked_cycles")
+                 "blocked_cycles", "commands_issued", "data_busy_cycles")
 
     def __init__(self):
         self._cmd_free_at = 0
         self._data_free_at = 0
         self._blocked_until = 0
         self.blocked_cycles = 0   # total channel-blocking time (RRS swaps)
+        self.commands_issued = 0  # commands placed on the command bus
+        self.data_busy_cycles = 0  # total data-bus burst occupancy
 
     def floors(self):
         """``(command_floor, data_floor)``: the earliest cycles either bus
@@ -42,6 +44,7 @@ class ChannelTiming:
                 "DRAM protocol violation: command bus busy at issue time"
             )
         self._cmd_free_at = cycle + 1
+        self.commands_issued += 1
 
     # -- data bus ---------------------------------------------------------------
 
@@ -55,6 +58,7 @@ class ChannelTiming:
                 "DRAM protocol violation: data bus busy at burst start"
             )
         self._data_free_at = start + burst
+        self.data_busy_cycles += burst
 
     # -- whole-channel blocking (RRS) --------------------------------------------
 

@@ -205,13 +205,18 @@ class JobResult:
     row_misses: int
     row_conflicts: int
     extra_act_cycles: int
+    #: Observability summary captured at run time (``collect_summary``).
+    #: Defaults to ``None`` so cache entries written before this field
+    #: existed still deserialise.
+    metrics: Optional[Dict] = None
 
     @property
     def finish_ns(self) -> List[float]:
         return [c * self.tck_ns for c in self.thread_finish_cycles]
 
     @classmethod
-    def from_system_result(cls, result: SystemResult) -> "JobResult":
+    def from_system_result(cls, result: SystemResult,
+                           metrics: Optional[Dict] = None) -> "JobResult":
         stats = result.stats
         return cls(
             cycles=result.cycles,
@@ -230,6 +235,7 @@ class JobResult:
             row_misses=stats.row_misses,
             row_conflicts=stats.row_conflicts,
             extra_act_cycles=stats.extra_act_cycles,
+            metrics=metrics,
         )
 
     def to_dict(self) -> Dict:
@@ -241,10 +247,18 @@ class JobResult:
 
 
 def _execute(job: Job) -> Dict:
-    """Worker entry point: simulate one job (module-level for pickling)."""
+    """Worker entry point: simulate one job (module-level for pickling).
+
+    Runs with the metric registry on (no tracing, no sampling) so every
+    cached result carries its observability summary; the registry costs
+    one attribute add per counted event and never perturbs timing.
+    """
+    from repro.obs import Observability
+    obs = Observability(metrics=True)
     system = System(list(job.profiles), job.scheme.build(),
-                    config=job.config)
-    return JobResult.from_system_result(system.run()).to_dict()
+                    config=job.config, obs=obs)
+    result = system.run()
+    return JobResult.from_system_result(result, metrics=obs.summary).to_dict()
 
 
 # -- the engine --------------------------------------------------------------------

@@ -5,7 +5,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
+import tempfile
 from typing import Dict, List, Optional, Sequence
 
 
@@ -43,12 +45,27 @@ def format_table(headers: Sequence[str], rows: List[Sequence],
 
 
 def save_results(name: str, payload: Dict, directory: str = "results") -> str:
-    """Persist an experiment's dict as JSON; returns the path."""
+    """Persist an experiment's dict as JSON; returns the path.
+
+    The write is atomic (temp file + ``os.replace``): a crash or a
+    concurrent reader never observes a truncated JSON file, and two
+    drivers writing the same name leave one intact winner.
+    """
     out_dir = pathlib.Path(directory)
     out_dir.mkdir(parents=True, exist_ok=True)
     path = out_dir / f"{name}.json"
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+    fd, tmp = tempfile.mkstemp(dir=out_dir, prefix=f".{name}.",
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
     return str(path)
 
 

@@ -72,6 +72,8 @@ class Mitigation(abc.ABC):
         self.geometry: Optional[DramGeometry] = None
         self.timing: Optional[TimingParams] = None
         self._translation_listeners: List[Callable[[BankAddress], None]] = []
+        self._event_listeners: List[
+            Callable[[str, BankAddress, int, dict], None]] = []
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -147,6 +149,34 @@ class Mitigation(abc.ABC):
         """
         for callback in self._translation_listeners:
             callback(addr)
+
+    # -- telemetry events ---------------------------------------------------------
+
+    def register_event_listener(
+            self, callback: Callable[[str, BankAddress, int, dict], None]
+    ) -> None:
+        """Subscribe to mitigation telemetry events.
+
+        The observability layer registers here to receive structured
+        security/mitigation events -- SHADOW shuffles (with the shuffle's
+        source/target DA copies), RRS swaps, BlockHammer throttles.
+        Wrappers that delegate behaviour to an inner scheme must forward
+        registration so the inner scheme's events are seen too.
+        """
+        self._event_listeners.append(callback)
+
+    def emit_event(self, kind: str, addr: BankAddress, cycle: int,
+                   payload: Optional[dict] = None) -> None:
+        """Deliver ``(kind, addr, cycle, payload)`` to event listeners.
+
+        Emitting schemes MUST pre-gate on ``self._event_listeners`` (one
+        truthiness check) so that runs without observability never build
+        payload dicts: the no-listener path is a true no-op.
+        """
+        if payload is None:
+            payload = {}
+        for callback in self._event_listeners:
+            callback(kind, addr, cycle, payload)
 
     # -- event hooks ------------------------------------------------------------
 

@@ -121,6 +121,12 @@ class BlockHammer(Mitigation):
         if allowed > cycle:
             self.throttled_acts += 1
             self.total_delay_cycles += allowed - cycle
+            if self._event_listeners:
+                # Per throttle *evaluation* (the scheduler may probe a
+                # candidate more than once before it issues), matching
+                # the ``throttled_acts`` counter's semantics.
+                self.emit_event("throttle", addr, cycle, {
+                    "pa_row": pa_row, "delay": allowed - cycle})
             return allowed
         return cycle
 

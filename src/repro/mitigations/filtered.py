@@ -81,6 +81,12 @@ class FilteredRfm(Mitigation):
         # the ones listeners care about.
         self.inner.register_translation_listener(callback)
 
+    def register_event_listener(self, callback) -> None:
+        # Both layers emit telemetry: the wrapper reports filtered RFMs,
+        # the inner scheme its shuffles/refreshes.
+        super().register_event_listener(callback)
+        self.inner.register_event_listener(callback)
+
     def before_activate(self, addr: BankAddress, pa_row: int,
                         cycle: int) -> int:
         return self.inner.before_activate(addr, pa_row, cycle)
@@ -119,6 +125,8 @@ class FilteredRfm(Mitigation):
         self._hot[addr] = 0
         if not hazardous:
             self.rfms_filtered += 1
+            if self._event_listeners:
+                self.emit_event("rfm-filtered", addr, cycle)
             return RfmOutcome(duration=0)
         self.rfms_passed += 1
         return self.inner.on_rfm(addr, cycle)

@@ -130,6 +130,12 @@ class RandomizedRowSwap(Mitigation):
         tracker.reset_key(pa_row)
         tracker.reset_key(partner)
         self.swaps += 1
+        if self._event_listeners:
+            self.emit_event("swap", addr, cycle, {
+                "pa_a": pa_row, "pa_b": partner,
+                "da_a": old_a, "da_b": old_b,
+                "block_cycles": self._swap_cycles,
+            })
         # The swap streams both rows over the channel: both physical rows
         # end up rewritten (fault reset) and the channel blocks.
         return ActOutcome(

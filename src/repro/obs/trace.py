@@ -1,0 +1,309 @@
+"""Structured event tracing with pluggable sinks.
+
+The simulator emits three event shapes, all stamped in DRAM cycles:
+
+* **complete** -- a span with a duration: one DRAM command (ACT, PRE,
+  RD, WR, REF, RFM) occupying its bank (or rank, for REF) track;
+* **instant** -- a point event: mitigation actions (SHADOW shuffles, RRS
+  swaps, BlockHammer throttles) and RAA-counter crossings;
+* **counter** -- a sampled time series: queue depths, cache hit rates,
+  RAA pressure (from :class:`~repro.obs.sampler.SnapshotSampler`).
+
+Tracks are ``(pid, tid)`` pairs: ``pid`` is the channel, ``tid`` a
+per-bank (or per-rank) lane, so the Chrome rendering groups commands the
+way the hardware parallelism does.
+
+Sinks:
+
+* :class:`MemoryTraceSink` -- in-process list, for tests and quick
+  post-run queries;
+* :class:`JsonlTraceSink` -- one JSON object per line, cycle-stamped
+  (lossless; :func:`read_jsonl` round-trips it);
+* :class:`ChromeTraceSink` -- Chrome/Perfetto trace-event JSON
+  (``ph``/``ts``/``dur`` in microseconds); load the output in
+  ``ui.perfetto.dev`` or ``chrome://tracing``.
+
+A sink is never consulted when tracing is off: every emission site in
+the simulator is gated on a single ``is None`` check, so the disabled
+path does no work at all.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+
+class TraceSink:
+    """Base sink: defines the protocol; all hooks default to no-ops.
+
+    All concrete sinks buffer data events as one shared tuple shape,
+    ``(ph, pid, tid, name, cat, cycle, dur, args)``, exposed through
+    :attr:`raw_buffer`.  Hot emission sites (the memory controller's
+    per-command path) append to that list directly -- skipping even the
+    bound-method call -- while cold sites (mitigation events, the
+    sampler) use the ``complete``/``instant``/``counter`` methods.
+    """
+
+    #: Events accepted so far (maintained by the concrete sinks).
+    events_written = 0
+
+    @property
+    def raw_buffer(self) -> list:
+        """The shared data-event tuple buffer (hot sites append here)."""
+        raise NotImplementedError
+
+    def set_timebase(self, tck_ns: float) -> None:
+        """Learn the cycle length (sinks that report wall time use it)."""
+
+    def declare_process(self, pid: int, name: str) -> None:
+        """Name a process track (a channel)."""
+
+    def declare_track(self, pid: int, tid: int, name: str) -> None:
+        """Name a thread track (a bank or rank lane)."""
+
+    def complete(self, pid: int, tid: int, name: str, cat: str,
+                 cycle: int, dur: int, args: Optional[Dict] = None) -> None:
+        raise NotImplementedError
+
+    def instant(self, pid: int, tid: int, name: str, cat: str,
+                cycle: int, args: Optional[Dict] = None) -> None:
+        raise NotImplementedError
+
+    def counter(self, pid: int, name: str, cycle: int,
+                values: Dict) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources; idempotent."""
+
+
+class MemoryTraceSink(TraceSink):
+    """Store events in ``self.events`` (tests, post-run queries).
+
+    The emission path is on the simulator's per-command hot loop, so it
+    only appends a plain tuple; the event *dicts* are materialized
+    lazily on first access to :attr:`events` (and cached -- repeated
+    reads are free until new events arrive).
+    """
+
+    def __init__(self):
+        self._raw: List[tuple] = []
+        self._built: List[Dict] = []
+
+    @property
+    def raw_buffer(self) -> list:
+        return self._raw
+
+    @property
+    def events_written(self) -> int:
+        return len(self._raw)
+
+    def complete(self, pid, tid, name, cat, cycle, dur, args=None):
+        self._raw.append(("X", pid, tid, name, cat, cycle, dur, args))
+
+    def instant(self, pid, tid, name, cat, cycle, args=None):
+        self._raw.append(("i", pid, tid, name, cat, cycle, None, args))
+
+    def counter(self, pid, name, cycle, values):
+        self._raw.append(("C", pid, None, name, None, cycle, None,
+                          dict(values)))
+
+    @property
+    def events(self) -> List[Dict]:
+        built = self._built
+        for ph, pid, tid, name, cat, cycle, dur, args in \
+                self._raw[len(built):]:
+            if ph == "X":
+                built.append({"ph": "X", "pid": pid, "tid": tid,
+                              "name": name, "cat": cat, "cycle": cycle,
+                              "dur": dur, "args": args})
+            elif ph == "i":
+                built.append({"ph": "i", "pid": pid, "tid": tid,
+                              "name": name, "cat": cat, "cycle": cycle,
+                              "args": args})
+            else:
+                built.append({"ph": "C", "pid": pid, "name": name,
+                              "cycle": cycle, "args": args})
+        return built
+
+    def by_phase(self, ph: str) -> List[Dict]:
+        return [e for e in self.events if e["ph"] == ph]
+
+    def by_name(self, name: str) -> List[Dict]:
+        return [e for e in self.events if e.get("name") == name]
+
+
+class JsonlTraceSink(TraceSink):
+    """One JSON object per line, stamped in raw cycles (lossless).
+
+    Events are buffered as tuples during the run; the JSON encoding and
+    the file write happen once, in :meth:`close`.  Metadata lines ("M")
+    come first in the file, data events follow in emission order.
+    """
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._meta: List[Dict] = []
+        self._raw: List[tuple] = []
+        self._tck_ns: Optional[float] = None
+        self._closed = False
+
+    @property
+    def raw_buffer(self) -> list:
+        return self._raw
+
+    @property
+    def events_written(self) -> int:
+        return len(self._raw)
+
+    def set_timebase(self, tck_ns: float) -> None:
+        self._tck_ns = tck_ns
+        self._meta.append({"ph": "M", "name": "timebase",
+                           "args": {"tck_ns": tck_ns}})
+
+    def declare_process(self, pid, name):
+        self._meta.append({"ph": "M", "name": "process_name", "pid": pid,
+                           "args": {"name": name}})
+
+    def declare_track(self, pid, tid, name):
+        self._meta.append({"ph": "M", "name": "thread_name", "pid": pid,
+                           "tid": tid, "args": {"name": name}})
+
+    def complete(self, pid, tid, name, cat, cycle, dur, args=None):
+        self._raw.append(("X", pid, tid, name, cat, cycle, dur, args))
+
+    def instant(self, pid, tid, name, cat, cycle, args=None):
+        self._raw.append(("i", pid, tid, name, cat, cycle, None, args))
+
+    def counter(self, pid, name, cycle, values):
+        self._raw.append(("C", pid, None, name, None, cycle, None,
+                          dict(values)))
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        with open(self.path, "w", encoding="utf-8") as fh:
+            for event in self._meta:
+                fh.write(json.dumps(event, sort_keys=True) + "\n")
+            for ph, pid, tid, name, cat, cycle, dur, args in self._raw:
+                if ph == "X":
+                    event = {"ph": "X", "pid": pid, "tid": tid,
+                             "name": name, "cat": cat, "cycle": cycle,
+                             "dur": dur}
+                elif ph == "i":
+                    event = {"ph": "i", "pid": pid, "tid": tid,
+                             "name": name, "cat": cat, "cycle": cycle}
+                else:
+                    event = {"ph": "C", "pid": pid, "name": name,
+                             "cycle": cycle, "args": args}
+                if ph != "C" and args:
+                    event["args"] = args
+                fh.write(json.dumps(event, sort_keys=True) + "\n")
+
+
+def read_jsonl(path) -> List[Dict]:
+    """Parse a :class:`JsonlTraceSink` file back into event dicts."""
+    events = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+class ChromeTraceSink(TraceSink):
+    """Chrome/Perfetto trace-event format (the JSON object form).
+
+    Timestamps and durations are microseconds (the format's unit); the
+    cycle-to-us factor comes from :meth:`set_timebase` (DRAM tCK).  Load
+    the written file in ``ui.perfetto.dev`` or ``chrome://tracing``.
+    """
+
+    def __init__(self, path, tck_ns: float = 1.0):
+        self.path = Path(path)
+        self._tck_us = tck_ns / 1000.0
+        self._raw: List[tuple] = []
+        self._process_names: Dict[int, str] = {}
+        self._track_names: Dict[Tuple[int, int], str] = {}
+        self._closed = False
+
+    @property
+    def raw_buffer(self) -> list:
+        return self._raw
+
+    @property
+    def events_written(self) -> int:
+        return len(self._raw)
+
+    def set_timebase(self, tck_ns: float) -> None:
+        # Applied at close, so it covers already-buffered events too.
+        self._tck_us = tck_ns / 1000.0
+
+    def declare_process(self, pid, name):
+        self._process_names[pid] = name
+
+    def declare_track(self, pid, tid, name):
+        self._track_names[(pid, tid)] = name
+
+    def complete(self, pid, tid, name, cat, cycle, dur, args=None):
+        self._raw.append(("X", pid, tid, name, cat, cycle, dur, args))
+
+    def instant(self, pid, tid, name, cat, cycle, args=None):
+        self._raw.append(("i", pid, tid, name, cat, cycle, None, args))
+
+    def counter(self, pid, name, cycle, values):
+        self._raw.append(("C", pid, None, name, None, cycle, None,
+                          dict(values)))
+
+    def _data_events(self) -> List[Dict]:
+        scale = self._tck_us
+        events = []
+        for ph, pid, tid, name, cat, cycle, dur, args in self._raw:
+            if ph == "X":
+                event = {"name": name, "cat": cat, "ph": "X",
+                         "ts": cycle * scale, "dur": dur * scale,
+                         "pid": pid, "tid": tid}
+                if args:
+                    event["args"] = args
+            elif ph == "i":
+                event = {"name": name, "cat": cat, "ph": "i", "s": "t",
+                         "ts": cycle * scale, "pid": pid, "tid": tid}
+                if args:
+                    event["args"] = args
+            else:
+                event = {"name": name, "ph": "C", "ts": cycle * scale,
+                         "pid": pid, "tid": 0, "args": args}
+            events.append(event)
+        return events
+
+    def _metadata_events(self) -> List[Dict]:
+        meta = []
+        for pid, name in sorted(self._process_names.items()):
+            meta.append({"name": "process_name", "ph": "M", "pid": pid,
+                         "tid": 0, "args": {"name": name}})
+        for (pid, tid), name in sorted(self._track_names.items()):
+            meta.append({"name": "thread_name", "ph": "M", "pid": pid,
+                         "tid": tid, "args": {"name": name}})
+            # Sort lanes by tid (bank order) rather than name.
+            meta.append({"name": "thread_sort_index", "ph": "M",
+                         "pid": pid, "tid": tid,
+                         "args": {"sort_index": tid}})
+        return meta
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        payload = {
+            "traceEvents": self._metadata_events() + self._data_events(),
+            "displayTimeUnit": "ns",
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+            fh.write("\n")

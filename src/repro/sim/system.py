@@ -79,16 +79,21 @@ class System:
     def __init__(self, profiles: List[WorkloadProfile],
                  mitigation: Optional[Mitigation] = None,
                  observer=None,
-                 config: Optional[SystemConfig] = None):
+                 config: Optional[SystemConfig] = None,
+                 obs=None):
         if not profiles:
             raise ValueError("at least one workload profile is required")
         self.config = config or SystemConfig()
         self.mitigation = mitigation or NoMitigation()
         self.device = DramDevice(self.config.geometry, self.config.timing)
         self.mapping = AddressMapping(self.config.geometry)
+        self.obs = obs
+        if obs is not None:
+            obs.bind(self.config.timing.tck_ns)
         self.mc = MemoryController(
             self.device, self.mitigation, observer=observer,
-            config=McConfig(enable_refresh=self.config.enable_refresh))
+            config=McConfig(enable_refresh=self.config.enable_refresh),
+            obs=obs)
         self.threads = [
             ThreadState(
                 thread_id=i,
@@ -116,6 +121,17 @@ class System:
 
         last_cycle = 0
 
+        # Snapshot sampling: when off, ``next_sample`` sits past
+        # max_cycles so the hot loop pays one int compare and nothing
+        # else.
+        sampler = None
+        next_sample = self.config.max_cycles + 1
+        obs = self.obs
+        if obs is not None and obs.sample_interval > 0:
+            from repro.obs.sampler import SnapshotSampler
+            sampler = SnapshotSampler(self, obs)
+            next_sample = obs.sample_interval
+
         # Earliest scheduled wake per channel; later duplicates are
         # dropped when popped (each drain re-derives its next wake).
         armed_wake: Dict[int, Optional[int]] = {
@@ -134,6 +150,8 @@ class System:
                     "simulation exceeded max_cycles; the system is likely "
                     "livelocked (check mitigation blocking times)")
             last_cycle = max(last_cycle, cycle)
+            if cycle >= next_sample:
+                next_sample = sampler.sample(cycle)
 
             if kind == "thread":
                 thread = self.threads[payload]
@@ -174,10 +192,13 @@ class System:
                     and all(t.finished for t in self.threads):
                 break
 
+        if sampler is not None:
+            sampler.sample(last_cycle)
+
         stats = self.device.aggregate_stats()
         refreshes = sum(t.refs_issued for t in self.mc.refresh.values())
         rfms = self.mc.raa.rfms_issued if self.mc.raa else 0
-        return SystemResult(
+        result = SystemResult(
             cycles=last_cycle,
             thread_finish_cycles=[t.finish_cycle or last_cycle
                                   for t in self.threads],
@@ -189,3 +210,7 @@ class System:
             mitigation_name=self.mitigation.name,
             tck_ns=self.config.timing.tck_ns,
         )
+        if obs is not None:
+            from repro.obs.sampler import collect_summary
+            obs.summary = collect_summary(self, result)
+        return result

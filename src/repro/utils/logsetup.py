@@ -1,0 +1,40 @@
+"""Process-wide logging configuration for the CLI and drivers.
+
+One call configures the root logger; repeat calls only adjust the
+level, so library code can call :func:`setup_logging` defensively
+without stacking duplicate handlers.  Modules log through the stdlib
+(``logging.getLogger(__name__)``) and stay silent unless the user opts
+in with ``--log-level``.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_DATE_FORMAT = "%H:%M:%S"
+
+_configured = False
+
+
+def setup_logging(level: str = "warning") -> int:
+    """Configure the root logger once; returns the numeric level.
+
+    ``level`` is a case-insensitive stdlib level name.  The first call
+    installs a single stderr handler; later calls only change the level
+    (idempotent, so tests and nested drivers can call it freely).
+    """
+    global _configured
+    numeric = logging.getLevelName(level.upper())
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level {level!r}")
+    if not _configured:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT, _DATE_FORMAT))
+        logging.getLogger().addHandler(handler)
+        _configured = True
+    logging.getLogger().setLevel(numeric)
+    return numeric
+
+
+__all__ = ["setup_logging"]

@@ -6,9 +6,11 @@ import pytest
 
 from repro.bench import (
     BENCH_PROFILES,
+    check_overhead,
     check_regression,
     load_report,
     run_bench,
+    run_overhead,
     write_report,
 )
 from repro.bench.harness import SCHEMA, run_one
@@ -98,6 +100,35 @@ class TestRegressionGate:
     def test_invalid_threshold(self):
         with pytest.raises(ValueError):
             check_regression({}, self.BASE, "quick", 1.5)
+
+
+class TestOverheadMode:
+    def test_run_one_with_obs_same_outcome(self):
+        from repro.obs import Observability
+        profile = BENCH_PROFILES["refresh-dominated"]
+        off = run_one(profile, quick=True)
+        on = run_one(profile, quick=True,
+                     obs_factory=lambda: Observability.in_memory(
+                         sample_interval=10_000))
+        for key in ("cycles", "requests", "acts", "row_hits",
+                    "refreshes", "rfms"):
+            assert off[key] == on[key]
+
+    def test_run_overhead_shape_and_traces(self, tmp_path):
+        results = run_overhead(names=["refresh-dominated"], quick=True,
+                               trace_dir=tmp_path, log=None)
+        entry = results["refresh-dominated"]
+        assert set(entry) == {"off", "on", "overhead"}
+        assert entry["off"]["cycles"] == entry["on"]["cycles"]
+        assert (tmp_path / "refresh-dominated.trace.json").exists()
+
+    def test_check_overhead_gate(self):
+        results = {"a": {"overhead": 0.05}, "b": {"overhead": 0.40}}
+        failures = check_overhead(results, 0.15)
+        assert len(failures) == 1 and "b:" in failures[0]
+        assert check_overhead(results, 0.50) == []
+        with pytest.raises(ValueError):
+            check_overhead(results, 0.0)
 
 
 class TestCommittedReport:

@@ -73,3 +73,62 @@ class TestCommands:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        from repro.version import __version__
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_log_level_flag_configures_logging(self, capsys):
+        import logging
+        rc = main(["--log-level", "debug", "security",
+                   "--hcnt", "4096", "--raaimt", "64"])
+        assert rc == 0
+        assert logging.getLogger().level == logging.DEBUG
+        logging.getLogger().setLevel(logging.WARNING)
+
+    def test_log_level_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["--log-level", "chatty", "security"])
+
+
+class TestObservabilityCommands:
+    def test_stats_command(self, capsys):
+        rc = main(["stats", "--workload", "mcf", "--scheme", "shadow",
+                   "--requests", "300", "--sample-interval", "2000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "row-hit rate:" in out
+        assert "candidate cache:" in out
+        assert "translation" in out
+        assert "raa:" in out and "rfms_issued=" in out
+        assert "snapshots:" in out
+
+    def test_stats_command_without_rfm_scheme(self, capsys):
+        rc = main(["stats", "--workload", "gcc", "--scheme", "none",
+                   "--requests", "200"])
+        assert rc == 0
+        assert "no RFM interface" in capsys.readouterr().out
+
+    def test_trace_command_chrome(self, tmp_path, capsys):
+        import json
+        out_path = tmp_path / "run.trace.json"
+        rc = main(["trace", "--workload", "mcf", "--scheme", "shadow",
+                   "--requests", "300", "--out", str(out_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "perfetto" in out
+        doc = json.loads(out_path.read_text(encoding="utf-8"))
+        assert doc["traceEvents"]
+
+    def test_trace_command_jsonl(self, tmp_path, capsys):
+        from repro.obs import read_jsonl
+        out_path = tmp_path / "run.jsonl"
+        rc = main(["trace", "--workload", "mcf", "--scheme", "none",
+                   "--requests", "200", "--format", "jsonl",
+                   "--out", str(out_path)])
+        assert rc == 0
+        events = read_jsonl(out_path)
+        assert any(e["ph"] == "X" for e in events)

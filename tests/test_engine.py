@@ -201,6 +201,30 @@ class TestEngine:
         with pytest.raises(ValueError):
             Engine(jobs=0)
 
+    def test_results_carry_metrics_summary(self, tmp_path):
+        job = self._jobs(1)[0]
+        result = Engine(cache_dir=str(tmp_path)).run([job])[job]
+        assert result.metrics is not None
+        assert result.metrics["acts"] == result.acts
+        assert result.metrics["row_hits"] == result.row_hits
+        cache = result.metrics["candidate_cache"]
+        assert cache["evals"] == cache["hits"] + cache["recomputes"]
+        json.dumps(result.metrics)  # cached payload must be JSON-able
+
+    def test_pre_metrics_cache_payload_still_loads(self):
+        # Entries written before JobResult grew the metrics field have
+        # no "metrics" key; they must deserialise with metrics=None.
+        payload = dataclasses.asdict(JobResult(
+            cycles=10, thread_finish_cycles=[10], reads_completed=1,
+            requests_issued=1, refreshes=0, rfms=0,
+            mitigation_name="baseline", tck_ns=0.75, acts=1,
+            precharges=1, reads=1, writes=0, row_hits=0, row_misses=1,
+            row_conflicts=0, extra_act_cycles=0))
+        del payload["metrics"]
+        restored = JobResult.from_dict(payload)
+        assert restored.metrics is None
+        assert restored.cycles == 10
+
 
 class TestWsRelativePlan:
     def test_matches_experiment_runner(self, tmp_path):

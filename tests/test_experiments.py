@@ -40,6 +40,27 @@ class TestReportHelpers:
             assert json.load(handle) == {"x": 1}
         assert os.path.basename(path) == "unit.json"
 
+    def test_save_results_atomic_no_temp_left_behind(self, tmp_path):
+        save_results("unit", {"x": 1}, directory=str(tmp_path))
+        save_results("unit", {"x": 2}, directory=str(tmp_path))
+        assert [p.name for p in tmp_path.iterdir()] == ["unit.json"]
+        with open(tmp_path / "unit.json") as handle:
+            assert json.load(handle) == {"x": 2}
+
+    def test_save_results_failed_write_cleans_up(self, tmp_path):
+        bad = {}
+        bad["self"] = bad   # circular: fails mid-dump despite default=str
+        with pytest.raises(ValueError):
+            save_results("broken", bad, directory=str(tmp_path))
+        # Neither a partial target nor a stranded temp file remains.
+        assert list(tmp_path.iterdir()) == []
+
+    def test_save_results_creates_nested_directory(self, tmp_path):
+        target = tmp_path / "a" / "b"
+        path = save_results("deep", {"ok": True}, directory=str(target))
+        with open(path) as handle:
+            assert json.load(handle) == {"ok": True}
+
 
 class TestFidelity:
     def test_levels(self):

@@ -1,0 +1,196 @@
+"""Trace-sink tests: JSONL round-trip and Chrome trace-event validity
+on a short seeded SHADOW run (satellite S4)."""
+
+import json
+
+import pytest
+
+from repro.core import Shadow, ShadowConfig
+from repro.dram.device import DramGeometry
+from repro.obs import (
+    ChromeTraceSink,
+    JsonlTraceSink,
+    MemoryTraceSink,
+    Observability,
+    read_jsonl,
+)
+from repro.sim import System, SystemConfig
+from repro.workloads.synthetic import random_stream_profile, stream_profile
+
+_GEOMETRY = DramGeometry(channels=1, ranks_per_channel=1, banks_per_rank=4)
+
+
+def _run(obs, requests=300):
+    config = SystemConfig(geometry=_GEOMETRY, seed=7,
+                          requests_per_thread=requests)
+    profiles = [random_stream_profile(), stream_profile()]
+    mitigation = Shadow(ShadowConfig(raaimt=32, rng_kind="system"))
+    result = System(profiles, mitigation, config=config, obs=obs).run()
+    obs.close()
+    return result
+
+
+# -- sink unit behaviour -------------------------------------------------------------
+
+class TestMemorySink:
+    def test_phases_and_queries(self):
+        sink = MemoryTraceSink()
+        sink.complete(0, 1, "ACT", "cmd", 100, 20, {"row": 5})
+        sink.instant(0, 1, "shuffle", "mitigation", 150)
+        sink.counter(0, "queue", 200, {"pending": 3})
+        assert sink.events_written == 3
+        assert [e["ph"] for e in sink.events] == ["X", "i", "C"]
+        assert sink.by_phase("X")[0]["args"] == {"row": 5}
+        assert sink.by_name("shuffle")[0]["cycle"] == 150
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlTraceSink(path)
+        sink.set_timebase(0.75)
+        sink.declare_process(0, "channel 0")
+        sink.declare_track(0, 1, "bank 0")
+        sink.complete(0, 1, "ACT", "cmd", 100, 20, {"row": 5})
+        sink.instant(0, 1, "shuffle", "mitigation", 150, {"copies": [[1, 2]]})
+        sink.counter(0, "queue", 200, {"pending": 3})
+        sink.close()
+        sink.close()  # idempotent
+
+        events = read_jsonl(path)
+        metas = [e for e in events if e["ph"] == "M"]
+        assert {m["name"] for m in metas} == {
+            "timebase", "process_name", "thread_name"}
+        data = [e for e in events if e["ph"] != "M"]
+        assert data == [
+            {"ph": "X", "pid": 0, "tid": 1, "name": "ACT", "cat": "cmd",
+             "cycle": 100, "dur": 20, "args": {"row": 5}},
+            {"ph": "i", "pid": 0, "tid": 1, "name": "shuffle",
+             "cat": "mitigation", "cycle": 150,
+             "args": {"copies": [[1, 2]]}},
+            {"ph": "C", "pid": 0, "name": "queue", "cycle": 200,
+             "args": {"pending": 3}},
+        ]
+
+    def test_run_round_trip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        obs = Observability.to_jsonl(path, sample_interval=2000)
+        _run(obs)
+        events = read_jsonl(path)
+        assert len(events) == obs.sink.events_written + \
+            sum(1 for e in events if e["ph"] == "M")
+        # Cycle stamps survive losslessly as ints.
+        spans = [e for e in events if e["ph"] == "X"]
+        assert spans and all(isinstance(e["cycle"], int) for e in spans)
+        assert {e["name"] for e in spans} >= {"ACT", "PRE", "RD"}
+
+
+# -- Chrome trace-event validity ------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def chrome_doc(tmp_path_factory):
+    path = tmp_path_factory.mktemp("trace") / "run.trace.json"
+    obs = Observability.to_chrome(path, sample_interval=2000)
+    _run(obs)
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+class TestChromeTrace:
+    def test_document_shape(self, chrome_doc):
+        assert set(chrome_doc) == {"traceEvents", "displayTimeUnit"}
+        assert isinstance(chrome_doc["traceEvents"], list)
+
+    def test_required_fields_per_phase(self, chrome_doc):
+        for e in chrome_doc["traceEvents"]:
+            assert {"name", "ph", "pid", "tid"} <= set(e)
+            if e["ph"] == "X":
+                assert e["ts"] >= 0 and e["dur"] >= 0
+            elif e["ph"] == "i":
+                assert e["s"] == "t" and e["ts"] >= 0
+            elif e["ph"] == "C":
+                assert isinstance(e["args"], dict)
+            else:
+                assert e["ph"] == "M"
+
+    def test_metadata_names_every_used_track(self, chrome_doc):
+        events = chrome_doc["traceEvents"]
+        named = {(e["pid"], e["tid"]) for e in events
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+        used = {(e["pid"], e["tid"]) for e in events if e["ph"] in ("X", "i")}
+        assert used <= named
+
+    def test_monotonic_per_track(self, chrome_doc):
+        last = {}
+        for e in chrome_doc["traceEvents"]:
+            if e["ph"] not in ("X", "i"):
+                continue
+            key = (e["pid"], e["tid"])
+            assert e["ts"] >= last.get(key, -1.0), (
+                f"track {key}: ts went backwards at {e}")
+            last[key] = e["ts"]
+
+    def test_command_spans_and_shuffle_instants(self, chrome_doc):
+        events = chrome_doc["traceEvents"]
+        spans = {e["name"] for e in events if e["ph"] == "X"}
+        assert {"ACT", "PRE", "RD"} <= spans
+        shuffles = [e for e in events
+                    if e["ph"] == "i" and e["name"] == "shuffle"]
+        assert shuffles, "seeded SHADOW run must record shuffles"
+        for e in shuffles:
+            copies = e["args"]["copies"]
+            assert copies and all(len(pair) == 2 for pair in copies)
+
+    def test_timebase_scales_ts(self, chrome_doc):
+        # DDR4-2666 tCK = 0.75ns -> one cycle is 0.00075us; an ACT at a
+        # few thousand cycles lands well under a millisecond of ts.
+        spans = [e for e in chrome_doc["traceEvents"] if e["ph"] == "X"]
+        assert max(e["ts"] for e in spans) < 1000.0
+
+    def test_counter_tracks_present(self, chrome_doc):
+        counters = {e["name"] for e in chrome_doc["traceEvents"]
+                    if e["ph"] == "C"}
+        assert {"queue_depth", "scheduler", "raa"} <= counters
+
+
+class TestChromeSinkUnit:
+    def test_close_idempotent_and_writes_once(self, tmp_path):
+        path = tmp_path / "t.json"
+        sink = ChromeTraceSink(path, tck_ns=1.0)
+        sink.complete(0, 1, "ACT", "cmd", 1000, 10)
+        sink.close()
+        first = path.read_text(encoding="utf-8")
+        sink.close()
+        assert path.read_text(encoding="utf-8") == first
+
+    def test_ts_unit_is_microseconds(self, tmp_path):
+        path = tmp_path / "t.json"
+        sink = ChromeTraceSink(path, tck_ns=2.0)
+        sink.complete(0, 1, "ACT", "cmd", 1000, 500)
+        sink.close()
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        (span,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert span["ts"] == pytest.approx(2.0)   # 1000 cy * 2ns = 2us
+        assert span["dur"] == pytest.approx(1.0)
+
+
+# -- mitigation event coverage --------------------------------------------------------
+
+class TestMitigationEvents:
+    def test_rrs_swaps_appear_as_instants(self):
+        from repro.mitigations import RandomizedRowSwap
+        from repro.utils.rng import SystemRng
+
+        config = SystemConfig(geometry=_GEOMETRY, seed=11,
+                              requests_per_thread=600)
+        obs = Observability.in_memory()
+        mitigation = RandomizedRowSwap.for_hcnt(12, rng=SystemRng(3))
+        System([random_stream_profile()], mitigation, config=config,
+               obs=obs).run()
+        obs.close()
+        swaps = obs.sink.by_name("swap")
+        assert len(swaps) == mitigation.swaps > 0
+        for e in swaps:
+            args = e["args"]
+            assert {"pa_a", "pa_b", "da_a", "da_b",
+                    "block_cycles"} <= set(args)
