@@ -14,7 +14,7 @@ Section III-B makes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 #: 16 Gb DDR5 die area, mm^2 (Kim et al., ISSCC 2019 [42]).

@@ -27,7 +27,6 @@ that writing a fully-driven row buffer into a destination row takes
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 

@@ -16,8 +16,8 @@ so the relative numbers land on the same scale as Figure 12.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Dict
 
 from repro.dram.timing import DDR4_2666, TimingParams
 

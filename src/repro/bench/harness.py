@@ -22,9 +22,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
-from repro.mitigations.base import Mitigation
-from repro.mitigations.none import NoMitigation
 from repro.sim import System, SystemConfig
+from repro.spec import SchemeSpec
 from repro.workloads.trace import WorkloadProfile
 
 SCHEMA = "shadow-repro-bench/1"
@@ -60,15 +59,14 @@ _REFRESH_DOMINATED = WorkloadProfile(
     write_fraction=0.25, footprint_pages=1024)
 
 
-def _shadow():
-    # Imported lazily so the bench module works even in stripped trees.
-    from repro.core import Shadow, ShadowConfig
-    return Shadow(ShadowConfig(raaimt=32, rng_kind="system"))
-
-
 @dataclass(frozen=True)
 class BenchProfile:
-    """One pinned, seeded benchmark configuration."""
+    """One pinned, seeded benchmark configuration.
+
+    The mitigation is a declarative :class:`~repro.spec.SchemeSpec`
+    (central-registry name + parameters) rather than a factory callable,
+    so a profile -- like an engine job -- is plain, serialisable data.
+    """
 
     name: str
     description: str
@@ -76,7 +74,8 @@ class BenchProfile:
     threads: int
     requests_per_thread: int
     seed: int
-    mitigation_factory: Callable[[], Mitigation] = NoMitigation
+    scheme: SchemeSpec = field(
+        default_factory=lambda: SchemeSpec("none"))
     enable_refresh: bool = True
 
     def build(self, quick: bool, obs=None) -> System:
@@ -86,7 +85,7 @@ class BenchProfile:
         config = SystemConfig(requests_per_thread=requests, seed=self.seed,
                               enable_refresh=self.enable_refresh)
         return System([self.workload] * self.threads,
-                      self.mitigation_factory(), config=config, obs=obs)
+                      self.scheme.build(), config=config, obs=obs)
 
 
 BENCH_PROFILES: Dict[str, BenchProfile] = {
@@ -106,7 +105,7 @@ BENCH_PROFILES: Dict[str, BenchProfile] = {
             description="SHADOW at RAAIMT=32: RFM-heavy + translation",
             workload=_CONFLICT_HEAVY, threads=4,
             requests_per_thread=3000, seed=303,
-            mitigation_factory=_shadow),
+            scheme=SchemeSpec("shadow-raw", (("raaimt", 32),))),
         BenchProfile(
             name="refresh-dominated",
             description="sparse traffic; REF/idle-wake dominates events",

@@ -20,73 +20,81 @@ import sys
 from typing import List, Optional
 
 from repro.analysis.security import SecurityAnalysis, SecurityParams
-from repro.core import Shadow, ShadowConfig
-from repro.core.config import secure_raaimt
-from repro.mitigations import (
-    BlockHammer,
-    DoubleRefreshRate,
-    NoMitigation,
-    Parfm,
-    RandomizedRowSwap,
-    mithril_area,
-    mithril_perf,
-)
 from repro.rowhammer.templating import TemplatingCampaign
 from repro.sim import System, SystemConfig
+from repro.spec import scheme_spec, workload_spec
+from repro.spec.registry import SCHEMES, WORKLOADS, UnknownNameError
 from repro.utils.logsetup import setup_logging
 from repro.version import __version__
-from repro.workloads import SPEC_PROFILES, mix_blend, mix_high
 
-SCHEMES = {
-    "none": NoMitigation,
-    "shadow": None,      # built per-hcnt below
-    "parfm": None,
-    "mithril-perf": None,
-    "mithril-area": None,
-    "blockhammer": None,
-    "rrs": None,
-    "drr": DoubleRefreshRate,
-}
+
+def cli_scheme_names() -> List[str]:
+    """Registered schemes the CLI can build from ``--hcnt`` alone."""
+    return sorted(name for name in SCHEMES.names()
+                  if SCHEMES.accepts(name, "hcnt"))
 
 
 def make_scheme(name: str, hcnt: int):
-    """Instantiate a mitigation by CLI name at a threshold."""
-    if name == "none":
-        return NoMitigation()
-    if name == "shadow":
-        return Shadow(ShadowConfig(raaimt=secure_raaimt(hcnt),
-                                   rng_kind="system"))
-    if name == "parfm":
-        return Parfm.for_hcnt(hcnt)
-    if name == "mithril-perf":
-        return mithril_perf(hcnt)
-    if name == "mithril-area":
-        return mithril_area(hcnt)
-    if name == "blockhammer":
-        return BlockHammer.for_hcnt(hcnt)
-    if name == "rrs":
-        return RandomizedRowSwap.for_hcnt(hcnt)
-    if name == "drr":
-        return DoubleRefreshRate()
-    raise SystemExit(f"unknown scheme {name!r}; choose from "
-                     f"{sorted(SCHEMES)}")
+    """Instantiate a mitigation by registry name at a threshold.
+
+    Builds through the central scheme registry -- the CLI constructs a
+    scheme exactly as a cached experiment job does -- passing ``hcnt``
+    only to factories that take it.
+    """
+    try:
+        if not SCHEMES.accepts(name, "hcnt"):
+            raise SystemExit(
+                f"scheme {name!r} needs parameters beyond --hcnt; "
+                f"runnable schemes: {cli_scheme_names()}")
+        params = SCHEMES.buildable_params(name, {"hcnt": hcnt})
+        return scheme_spec(name, **params).build()
+    except UnknownNameError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def resolve_profiles(workload: str, threads: int):
-    """Map a CLI workload name to the thread profile list."""
-    if workload in SPEC_PROFILES:
-        return [SPEC_PROFILES[workload]] * threads
-    if workload == "mix-high":
-        return mix_high(threads)
-    if workload == "mix-blend":
-        return mix_blend(threads)
-    raise SystemExit(
-        f"unknown workload {workload!r}; use a SPEC app name, "
-        f"'mix-high' or 'mix-blend'")
+    """Map a CLI workload name to the thread profile list.
+
+    ``workload`` is either a registered workload kind buildable from
+    ``--threads`` alone (mix-high, mix-blend, stream, ...) or a SPEC
+    application name; unknown names get a did-you-mean error.
+    """
+    try:
+        if workload in WORKLOADS and WORKLOADS.accepts(workload,
+                                                       "threads"):
+            params = WORKLOADS.buildable_params(workload,
+                                                {"threads": threads})
+            return list(workload_spec(workload, **params).build())
+        return list(workload_spec("spec", app=workload,
+                                  threads=threads).build())
+    except (UnknownNameError, ValueError) as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def _run_spec_file(path: str, jobs: int, no_cache: bool) -> int:
+    """Run a serialized ExperimentSpec through the generic driver."""
+    import json
+
+    from repro.experiments.driver import run_spec
+    from repro.experiments.engine import Engine
+    from repro.experiments.report import save_results
+    from repro.spec import ExperimentSpec
+
+    with open(path) as handle:
+        spec = ExperimentSpec.from_dict(json.load(handle))
+    engine = Engine(jobs=jobs, use_cache=not no_cache)
+    results = run_spec(spec, engine=engine)
+    print(f"experiment={spec.name} fidelity={spec.fidelity} "
+          f"points={len(spec.points)}")
+    print("engine:", engine.stats.summary())
+    print("saved:", save_results(f"{spec.name}_{spec.fidelity}", results))
+    return 0
 
 
 def cmd_run(args) -> int:
     """Handle ``shadow-repro run``."""
+    if args.spec:
+        return _run_spec_file(args.spec, args.jobs, args.no_cache)
     profiles = resolve_profiles(args.workload, args.threads)
     mitigation = make_scheme(args.scheme, args.hcnt)
     config = SystemConfig(requests_per_thread=args.requests,
@@ -304,6 +312,15 @@ def cmd_experiment(args) -> int:
     """Handle ``shadow-repro experiment <name>``."""
     import importlib
     module = importlib.import_module(f"repro.experiments.{args.name}")
+    if args.dump_spec:
+        import json
+        if not hasattr(module, "spec"):
+            raise SystemExit(
+                f"{args.name} does not define a declarative spec")
+        spec = (module.spec(args.fidelity) if args.fidelity
+                else module.spec())
+        print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
+        return 0
     argv = [args.fidelity] if args.fidelity else []
     if args.name in ENGINE_EXPERIMENTS:
         if args.jobs != 1:
@@ -331,21 +348,32 @@ def build_parser() -> argparse.ArgumentParser:
                         help="configure stdlib logging at this level")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run_p = sub.add_parser("run", help="simulate a workload")
+    scheme_names = cli_scheme_names()
+
+    run_p = sub.add_parser(
+        "run", help="simulate a workload (or a serialized spec)")
     run_p.add_argument("--workload", default="mcf")
     run_p.add_argument("--scheme", default="shadow",
-                       choices=sorted(SCHEMES))
+                       choices=scheme_names)
     run_p.add_argument("--hcnt", type=int, default=4096)
     run_p.add_argument("--threads", type=int, default=1)
     run_p.add_argument("--requests", type=int, default=2000)
     run_p.add_argument("--seed", type=int, default=1)
+    run_p.add_argument("--spec", metavar="PATH",
+                       help="run an ExperimentSpec JSON file through the "
+                            "generic driver instead (see 'experiment "
+                            "--dump-spec')")
+    run_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for --spec runs")
+    run_p.add_argument("--no-cache", action="store_true",
+                       help="bypass the result cache for --spec runs")
     run_p.set_defaults(func=cmd_run)
 
     stats_p = sub.add_parser(
         "stats", help="simulate with metrics on and print the summary")
     stats_p.add_argument("--workload", default="mcf")
     stats_p.add_argument("--scheme", default="shadow",
-                         choices=sorted(SCHEMES))
+                         choices=scheme_names)
     stats_p.add_argument("--hcnt", type=int, default=4096)
     stats_p.add_argument("--threads", type=int, default=1)
     stats_p.add_argument("--requests", type=int, default=2000)
@@ -362,7 +390,7 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", help="export a run as a Chrome/Perfetto or JSONL trace")
     trace_p.add_argument("--workload", default="mcf")
     trace_p.add_argument("--scheme", default="shadow",
-                         choices=sorted(SCHEMES))
+                         choices=scheme_names)
     trace_p.add_argument("--hcnt", type=int, default=4096)
     trace_p.add_argument("--threads", type=int, default=1)
     trace_p.add_argument("--requests", type=int, default=2000)
@@ -411,6 +439,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "(fig8-fig12, ablations)")
     exp_p.add_argument("--no-cache", action="store_true",
                        help="bypass the persistent result cache")
+    exp_p.add_argument("--dump-spec", action="store_true",
+                       help="print the driver's ExperimentSpec as JSON "
+                            "instead of running it (feed to 'run --spec')")
     exp_p.set_defaults(func=cmd_experiment)
 
     bench_p = sub.add_parser(

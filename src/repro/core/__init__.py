@@ -22,6 +22,12 @@ The pieces map one-to-one onto the paper's architecture (Figure 5):
 
 from repro.core.config import ShadowConfig
 from repro.core.controller import ShadowBankController
+from repro.core.factories import (
+    make_shadow,
+    make_shadow_ablate,
+    make_shadow_raw,
+    make_shadow_with_trcd,
+)
 from repro.core.incremental import IncrementalRefresh
 from repro.core.pairing import ShadowTimings
 from repro.core.remapping import RemappingRow
@@ -36,5 +42,9 @@ __all__ = [
     "ShadowConfig",
     "ShadowTimings",
     "ShuffleResult",
+    "make_shadow",
+    "make_shadow_ablate",
+    "make_shadow_raw",
+    "make_shadow_with_trcd",
     "plan_shuffle",
 ]

@@ -9,7 +9,7 @@ No SRAM/CAM tracking table exists: randomness is the whole mechanism.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.utils.rng import RandomSource
 

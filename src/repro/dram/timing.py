@@ -186,3 +186,14 @@ DDR4_2666 = _make_ddr4_2666()
 
 #: DDR5-4800: the paper's architectural-simulation configuration.
 DDR5_4800 = _make_ddr5_4800()
+
+
+# -- spec-registry entries ---------------------------------------------------------
+#
+# Speed grades register by name so a ``TimingSpec`` (and therefore any
+# serialized experiment) can select one from plain data.
+
+from repro.spec.registry import TIMINGS as _TIMINGS
+
+_TIMINGS.register("DDR4-2666", lambda: DDR4_2666)
+_TIMINGS.register("DDR5-4800", lambda: DDR5_4800)

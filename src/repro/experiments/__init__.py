@@ -1,8 +1,11 @@
 """Experiment drivers: one module per paper table/figure.
 
-Every module exposes ``run(fidelity)`` returning a plain dict of the
-rows/series the paper reports, and a ``main()`` console entry point
-(wired in ``pyproject.toml`` as ``shadow-table2`` ... ``shadow-fig12``).
+Every module exposes ``spec(fidelity)`` returning the figure as a
+declarative :class:`~repro.spec.ExperimentSpec`, ``run(fidelity)``
+executing it through the generic driver (:func:`run_spec`) into a plain
+dict of the rows/series the paper reports, and a ``main()`` console
+entry point (wired in ``pyproject.toml`` as ``shadow-table2`` ...
+``shadow-fig12``).
 
 ``fidelity`` selects the run scale:
 
@@ -13,6 +16,7 @@ rows/series the paper reports, and a ``main()`` console entry point
 """
 
 from repro.experiments.configs import FidelityConfig, fidelity_config
+from repro.experiments.driver import METRICS, run_spec
 from repro.experiments.engine import (
     Engine,
     EngineStats,
@@ -28,7 +32,9 @@ __all__ = [
     "FidelityConfig",
     "Job",
     "JobResult",
+    "METRICS",
     "SchemeSpec",
     "fidelity_config",
+    "run_spec",
     "scheme_spec",
 ]

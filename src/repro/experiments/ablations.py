@@ -12,6 +12,12 @@ decisions it motivates:
   rate under the scenario-II adversary, Section IV-C);
 * **LFSR vs PRINCE RNG** -- performance equivalence of the cheap RNG
   option (Section VIII).
+
+All three studies ride one declarative
+:class:`~repro.spec.ExperimentSpec`: the timing and protection studies
+are analytic points (``timing-ablation`` / ``protection-ablation``
+metrics, no engine jobs), the performance study is a set of
+weighted-speedup points over the ``shadow-ablate`` scheme variants.
 """
 
 from __future__ import annotations
@@ -23,15 +29,16 @@ from repro.core.pairing import ShadowTimings
 from repro.dram.subarray import SubarrayLayout
 from repro.dram.timing import DDR4_2666
 from repro.experiments.configs import DEFAULT_HCNT, fidelity_config
-from repro.experiments.engine import Engine, WsRelativePlan, scheme_spec
+from repro.experiments.driver import METRICS, AnalyticMetric, run_spec
+from repro.experiments.engine import Engine
 from repro.experiments.report import (
     driver_arg_parser,
     format_table,
     save_results,
 )
 from repro.rowhammer.adversary import ScenarioIIAttacker
+from repro.spec import ExperimentSpec, PointSpec, scheme_spec, workload_spec
 from repro.utils.rng import SystemRng
-from repro.workloads import mix_high
 
 
 def timing_ablation() -> Dict[str, Dict[str, float]]:
@@ -75,14 +82,30 @@ def protection_ablation(trials: int = 40) -> Dict[str, float]:
     }
 
 
-def performance_ablation(fidelity: str,
-                         engine: Optional[Engine] = None
-                         ) -> Dict[str, float]:
-    """Weighted-speedup impact of the microarchitecture options."""
+class _TimingAblation(AnalyticMetric):
+    def value(self, rp, plan, results):
+        return timing_ablation()
+
+
+class _ProtectionAblation(AnalyticMetric):
+    def value(self, rp, plan, results):
+        return protection_ablation(trials=rp.params["trials"])
+
+
+METRICS.register("timing-ablation", _TimingAblation())
+METRICS.register("protection-ablation", _ProtectionAblation())
+
+
+def spec(fidelity: str = "smoke") -> ExperimentSpec:
+    """All three ablation studies as one declarative grid."""
     fc = fidelity_config(fidelity)
-    engine = engine or Engine()
-    plan = WsRelativePlan(fc.system_config())
-    profiles = mix_high(fc.threads)
+    sim = fc.sim_spec()
+    workload = workload_spec("mix-high", threads=fc.threads)
+    points = [
+        PointSpec("timing-ablation", ("timing",)),
+        PointSpec("protection-ablation", ("protection",),
+                  params={"trials": 40 if fidelity == "smoke" else 200}),
+    ]
     variants = {
         "full SHADOW": scheme_spec("shadow-ablate", hcnt=DEFAULT_HCNT),
         "no pairing": scheme_spec("shadow-ablate", hcnt=DEFAULT_HCNT,
@@ -92,24 +115,17 @@ def performance_ablation(fidelity: str,
         "LFSR RNG": scheme_spec("shadow-ablate", hcnt=DEFAULT_HCNT,
                                 rng_kind="lfsr"),
     }
-    for name, spec in variants.items():
-        plan.add(name, profiles, spec)
-    res = engine.run(plan.jobs)
-    return {name: plan.value(name, res) for name in variants}
+    for name, scheme in variants.items():
+        points.append(PointSpec(
+            "ws-relative", ("performance", name),
+            workload=workload, scheme=scheme, sim=sim))
+    return ExperimentSpec("ablations", fidelity, points)
 
 
 def run(fidelity: str = "smoke", jobs: int = 1,
         engine: Optional[Engine] = None) -> Dict:
     """Run all three ablation studies; returns the result dict."""
-    return {
-        "experiment": "ablations",
-        "fidelity": fidelity,
-        "timing": timing_ablation(),
-        "protection": protection_ablation(
-            trials=40 if fidelity == "smoke" else 200),
-        "performance": performance_ablation(
-            fidelity, engine=engine or Engine(jobs=jobs)),
-    }
+    return run_spec(spec(fidelity), engine=engine, jobs=jobs)
 
 
 def main() -> None:

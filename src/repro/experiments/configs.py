@@ -15,6 +15,7 @@ from typing import Optional
 from repro.dram.device import DramGeometry
 from repro.dram.timing import DDR4_2666, DDR5_4800, TimingParams
 from repro.sim.system import SystemConfig
+from repro.spec import SimSpec, TimingSpec
 
 
 @dataclass(frozen=True)
@@ -45,6 +46,21 @@ class FidelityConfig:
             timing=timing,
             requests_per_thread=(requests if requests is not None
                                  else self.requests_per_thread),
+            seed=seed,
+        )
+
+    def sim_spec(self, grade: str = "DDR4-2666",
+                 requests: Optional[int] = None, seed: int = 3) -> SimSpec:
+        """The declarative form of :meth:`system_config`.
+
+        ``SimSpec.to_system_config()`` of the returned spec is equal to
+        the ``SystemConfig`` built directly, so spec-driven jobs hash to
+        the same cache keys as the pre-spec drivers' jobs.
+        """
+        return SimSpec(
+            timing=TimingSpec(grade),
+            requests=(requests if requests is not None
+                      else self.requests_per_thread),
             seed=seed,
         )
 

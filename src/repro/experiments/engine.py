@@ -15,9 +15,10 @@ engine expresses each such simulation as a declarative :class:`Job`
   (``--jobs N``); with ``jobs=1`` everything runs inline.
 
 Scheme factories are lambdas and cannot cross a process boundary, so a
-job carries a :class:`SchemeSpec` -- a registry name plus keyword
-parameters -- and each worker rebuilds the mitigation from the registry.
-The spec doubles as the scheme half of the cache key.
+job carries a :class:`~repro.spec.SchemeSpec` -- a central-registry name
+plus keyword parameters (:mod:`repro.spec.registry`) -- and each worker
+rebuilds the mitigation from the registry.  The spec doubles as the
+scheme half of the cache key.
 
 Determinism is the invariant: ``System.run()`` is a pure function of the
 job spec (seeds included), so results with ``jobs=8`` are value-identical
@@ -28,85 +29,19 @@ from __future__ import annotations
 
 import dataclasses
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import cached_property
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.core import Shadow, ShadowConfig
-from repro.core.config import secure_raaimt
 from repro.experiments.schemes import (
     BLOCKHAMMER_HISTORY_SCALE,
     BLOCKHAMMER_RATE_SCALE,
-    make_shadow,
-    make_shadow_with_trcd,
-)
-from repro.mitigations import (
-    BlockHammer,
-    DoubleRefreshRate,
-    Mitigation,
-    NoMitigation,
-    Parfm,
-    RandomizedRowSwap,
-    mithril_area,
-    mithril_perf,
 )
 from repro.sim.metrics import relative_weighted_speedup
 from repro.sim.system import System, SystemConfig, SystemResult
+from repro.spec import SchemeSpec, scheme_spec
 from repro.utils.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.workloads.trace import WorkloadProfile
-
-# -- scheme registry ---------------------------------------------------------------
-
-#: Builders the workers use to reconstruct a mitigation from its spec.
-SCHEME_BUILDERS: Dict[str, Callable[..., Mitigation]] = {
-    "none": NoMitigation,
-    "drr": DoubleRefreshRate,
-    "shadow": lambda hcnt, seed=1: make_shadow(hcnt, seed),
-    "shadow-trcd": lambda trcd, hcnt: make_shadow_with_trcd(trcd, hcnt),
-    "shadow-ablate": lambda hcnt, rng_kind="system", pairing=True,
-    isolation=True: Shadow(ShadowConfig(
-        raaimt=secure_raaimt(hcnt), rng_kind=rng_kind,
-        pairing=pairing, isolation=isolation)),
-    "parfm": lambda hcnt, radius=1: Parfm.for_hcnt(hcnt, radius),
-    "mithril-perf": lambda hcnt, radius=1: mithril_perf(hcnt, radius),
-    "mithril-area": lambda hcnt, radius=1: mithril_area(hcnt, radius),
-    "blockhammer": lambda hcnt, history_scale=1.0, rate_scale=1.0:
-        BlockHammer.for_hcnt(hcnt, history_scale=history_scale,
-                             rate_scale=rate_scale),
-    "rrs": lambda hcnt: RandomizedRowSwap.for_hcnt(hcnt),
-}
-
-
-@dataclass(frozen=True)
-class SchemeSpec:
-    """A mitigation named declaratively: registry kind + parameters.
-
-    Hashable, picklable and JSON-able -- the properties a lambda factory
-    lacks -- so it can ride in a job across process boundaries and into
-    the cache key.
-    """
-
-    kind: str
-    params: Tuple[Tuple[str, Any], ...] = ()
-
-    def __post_init__(self) -> None:
-        if self.kind not in SCHEME_BUILDERS:
-            raise ValueError(f"unknown scheme kind {self.kind!r}; "
-                             f"choose from {sorted(SCHEME_BUILDERS)}")
-
-    def build(self) -> Mitigation:
-        """A fresh mitigation instance (per-run state never shared)."""
-        return SCHEME_BUILDERS[self.kind](**dict(self.params))
-
-    def payload(self) -> Dict:
-        """The cache-key fragment for this scheme."""
-        return {"kind": self.kind, "params": dict(self.params)}
-
-
-def scheme_spec(kind: str, **params: Any) -> SchemeSpec:
-    """Convenience constructor with keyword parameters."""
-    return SchemeSpec(kind, tuple(sorted(params.items())))
-
 
 #: The unprotected baseline every figure normalises against.
 BASELINE = scheme_spec("none")
@@ -396,7 +331,6 @@ __all__ = [
     "EngineStats",
     "Job",
     "JobResult",
-    "SCHEME_BUILDERS",
     "SchemeSpec",
     "WsRelativePlan",
     "alone_job",

@@ -6,8 +6,9 @@ aggressor); PARFM and Mithril must refresh ``2 x radius`` victims per
 RFM and derate their RAAIMT by the blast weight, so their overhead
 grows with the radius and SHADOW overtakes them past radius 2.
 
-Runs on the experiment engine; note that SHADOW's jobs are literally
-identical across radii, so the engine simulates them once.
+One declarative :class:`~repro.spec.ExperimentSpec`; note that SHADOW's
+points expand to literally identical jobs across radii, so the engine
+simulates them once.
 """
 
 from __future__ import annotations
@@ -15,32 +16,29 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.experiments.configs import fidelity_config
-from repro.experiments.engine import Engine, WsRelativePlan, scheme_spec
+from repro.experiments.driver import run_spec
+from repro.experiments.engine import Engine
 from repro.experiments.report import (
     driver_arg_parser,
     format_table,
     save_results,
 )
-from repro.workloads import mix_blend, mix_high
+from repro.spec import ExperimentSpec, PointSpec, scheme_spec, workload_spec
 
 RADII = (1, 2, 3, 4, 5)
 FIXED_HCNT = 2048
 
 
-def run(fidelity: str = "smoke", hcnt: int = FIXED_HCNT,
-        jobs: int = 1, engine: Optional[Engine] = None) -> Dict:
-    """Run the experiment; returns the figure's series as a dict."""
+def spec(fidelity: str = "smoke", hcnt: int = FIXED_HCNT) -> ExperimentSpec:
+    """The figure as data: one point per (mix, scheme, radius) cell."""
     fc = fidelity_config(fidelity)
-    engine = engine or Engine(jobs=jobs)
-    plan = WsRelativePlan(
-        fc.system_config(requests=fc.tracker_requests))
-    threads = fc.tracker_threads
+    sim = fc.sim_spec(requests=fc.tracker_requests)
     radii = RADII if fidelity == "full" else (1, 3, 5)
-    mixes = (("mix-high", mix_high(threads)),
-             ("mix-blend", mix_blend(threads)))
-    if fidelity != "full":
-        mixes = mixes[:1]
-    for mix_name, profiles in mixes:
+    mixes = (("mix-high", "mix-blend") if fidelity == "full"
+             else ("mix-high",))
+    points = []
+    for mix in mixes:
+        workload = workload_spec(mix, threads=fc.tracker_threads)
         for radius in radii:
             schemes = {
                 "SHADOW": scheme_spec("shadow", hcnt=hcnt),
@@ -48,17 +46,19 @@ def run(fidelity: str = "smoke", hcnt: int = FIXED_HCNT,
                 "Mithril": scheme_spec("mithril-area", hcnt=hcnt,
                                        radius=radius),
             }
-            for name, spec in schemes.items():
-                plan.add((mix_name, name, radius), profiles, spec)
-    res = engine.run(plan.jobs)
-    series: Dict[str, Dict[str, float]] = {}
-    for mix_name, _profiles in mixes:
-        for radius in radii:
-            for name in ("SHADOW", "PARFM", "Mithril"):
-                series.setdefault(f"{mix_name}/{name}", {})[str(radius)] = \
-                    plan.value((mix_name, name, radius), res)
-    return {"experiment": "fig10", "fidelity": fidelity, "hcnt": hcnt,
-            "series": series, "radii": list(radii)}
+            for name, scheme in schemes.items():
+                points.append(PointSpec(
+                    "ws-relative",
+                    ("series", f"{mix}/{name}", str(radius)),
+                    workload=workload, scheme=scheme, sim=sim))
+    return ExperimentSpec("fig10", fidelity, points,
+                          meta={"hcnt": hcnt, "radii": list(radii)})
+
+
+def run(fidelity: str = "smoke", hcnt: int = FIXED_HCNT,
+        jobs: int = 1, engine: Optional[Engine] = None) -> Dict:
+    """Run the experiment; returns the figure's series as a dict."""
+    return run_spec(spec(fidelity, hcnt), engine=engine, jobs=jobs)
 
 
 def main() -> None:

@@ -7,8 +7,9 @@ everywhere; RRS collapses at low thresholds (channel-blocking swaps);
 BlockHammer collapses at low thresholds (throttle delays + blacklist
 misidentification).
 
-Runs on the experiment engine (deduplicated jobs, persistent cache,
-``--jobs`` workers).
+One declarative :class:`~repro.spec.ExperimentSpec`; the mix-random
+variants are separate points sharing one output path, which the generic
+driver averages in order.
 """
 
 from __future__ import annotations
@@ -16,51 +17,47 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.experiments.configs import HCNT_SWEEP, fidelity_config
-from repro.experiments.engine import (
-    Engine,
-    WsRelativePlan,
-    archsim_scheme_specs,
-)
+from repro.experiments.driver import run_spec
+from repro.experiments.engine import Engine, archsim_scheme_specs
 from repro.experiments.report import (
     driver_arg_parser,
     format_table,
     save_results,
 )
-from repro.workloads import mix_blend, mix_high, mix_random
+from repro.spec import ExperimentSpec, PointSpec, workload_spec
+
+
+def spec(fidelity: str = "smoke") -> ExperimentSpec:
+    """The figure as data: one point per (mix variant, H_cnt, scheme)."""
+    fc = fidelity_config(fidelity)
+    sim = fc.sim_spec(requests=fc.tracker_requests)
+    threads = fc.tracker_threads
+    mixes = {
+        "mix-high": [workload_spec("mix-high", threads=threads)],
+        "mix-blend": [workload_spec("mix-blend", threads=threads)],
+    }
+    if fidelity == "full":
+        mixes["mix-random"] = [
+            workload_spec("mix-random", seed=seed, threads=threads)
+            for seed in range(1, fc.mix_random_count + 1)]
+    sweep = HCNT_SWEEP if fidelity == "full" else (16384, 4096, 2048)
+    points = []
+    for mix, variants in mixes.items():
+        for hcnt in sweep:
+            for name, scheme in archsim_scheme_specs(hcnt).items():
+                for workload in variants:
+                    points.append(PointSpec(
+                        "ws-relative",
+                        ("series", f"{mix}/{name}", str(hcnt)),
+                        workload=workload, scheme=scheme, sim=sim))
+    return ExperimentSpec("fig11", fidelity, points,
+                          meta={"hcnt_sweep": list(sweep)})
 
 
 def run(fidelity: str = "smoke", jobs: int = 1,
         engine: Optional[Engine] = None) -> Dict:
     """Run the experiment; returns the figure's series as a dict."""
-    fc = fidelity_config(fidelity)
-    engine = engine or Engine(jobs=jobs)
-    plan = WsRelativePlan(
-        fc.system_config(requests=fc.tracker_requests))
-    threads = fc.tracker_threads
-    mixes = {
-        "mix-high": [mix_high(threads)],
-        "mix-blend": [mix_blend(threads)],
-    }
-    if fidelity == "full":
-        mixes["mix-random"] = [mix_random(seed, threads)
-                               for seed in range(1, fc.mix_random_count + 1)]
-    sweep = HCNT_SWEEP if fidelity == "full" else (16384, 4096, 2048)
-    for mix_name, variants in mixes.items():
-        for hcnt in sweep:
-            for name, spec in archsim_scheme_specs(hcnt).items():
-                for i, profiles in enumerate(variants):
-                    plan.add((mix_name, hcnt, name, i), profiles, spec)
-    res = engine.run(plan.jobs)
-    series: Dict[str, Dict[str, float]] = {}
-    for mix_name, variants in mixes.items():
-        for hcnt in sweep:
-            for name in archsim_scheme_specs(hcnt):
-                rels = [plan.value((mix_name, hcnt, name, i), res)
-                        for i in range(len(variants))]
-                series.setdefault(f"{mix_name}/{name}", {})[str(hcnt)] = \
-                    sum(rels) / len(rels)
-    return {"experiment": "fig11", "fidelity": fidelity, "series": series,
-            "hcnt_sweep": list(sweep)}
+    return run_spec(spec(fidelity), engine=engine, jobs=jobs)
 
 
 def main() -> None:

@@ -5,68 +5,54 @@ sweep, feeds the measured command counts into the IDD power model, and
 reports (a) system power relative to baseline and (b) the number of
 RFMs normalized to the number of refreshes.
 
-Runs on the experiment engine; the simulations (one baseline plus one
-SHADOW run per mix and threshold) are cached and fanned out, the power
-model is evaluated inline on their command counts.
+One declarative :class:`~repro.spec.ExperimentSpec`: each (mix, H_cnt)
+cell contributes a ``relative-power`` and an ``rfm-per-ref`` point; the
+underlying simulations (one baseline plus one SHADOW run per mix and
+threshold) are deduplicated and cached by the engine, the power model
+is evaluated inline on their command counts.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro.analysis.power import CommandCounts, SystemPowerModel
 from repro.experiments.configs import HCNT_SWEEP, fidelity_config
-from repro.experiments.engine import (
-    BASELINE,
-    Engine,
-    JobResult,
-    scheme_spec,
-    shared_job,
-)
+from repro.experiments.driver import run_spec
+from repro.experiments.engine import Engine
 from repro.experiments.report import (
     driver_arg_parser,
     format_table,
     save_results,
 )
-from repro.workloads import mix_blend, mix_high
+from repro.spec import ExperimentSpec, PointSpec, scheme_spec, workload_spec
 
 
-def _counts(result: JobResult) -> CommandCounts:
-    return CommandCounts(
-        acts=result.acts, reads=result.reads,
-        writes=result.writes, refreshes=result.refreshes,
-        rfms=result.rfms, elapsed_cycles=max(1, result.cycles))
+def spec(fidelity: str = "smoke") -> ExperimentSpec:
+    """The figure as data: two points (power, RFM ratio) per cell."""
+    fc = fidelity_config(fidelity)
+    sim = fc.sim_spec()
+    points = []
+    for mix in ("mix-high", "mix-blend"):
+        workload = workload_spec(mix, threads=fc.threads)
+        for hcnt in HCNT_SWEEP:
+            scheme = scheme_spec("shadow", hcnt=hcnt)
+            points.append(PointSpec(
+                "relative-power",
+                ("series", f"{mix}/relative-power", str(hcnt)),
+                workload=workload, scheme=scheme, sim=sim,
+                params={"cpu_tdp_w": 165.0, "devices": 32,
+                        "shadow": True}))
+            points.append(PointSpec(
+                "rfm-per-ref",
+                ("series", f"{mix}/rfm-per-ref", str(hcnt)),
+                workload=workload, scheme=scheme, sim=sim))
+    return ExperimentSpec("fig12", fidelity, points)
 
 
 def run(fidelity: str = "smoke", jobs: int = 1,
         engine: Optional[Engine] = None) -> Dict:
     """Run the experiment; returns the figure's series as a dict."""
-    fc = fidelity_config(fidelity)
-    engine = engine or Engine(jobs=jobs)
-    config = fc.system_config()
-    power = SystemPowerModel(cpu_tdp_w=165.0, devices=32,
-                             timing=config.timing)
-    mixes = (("mix-high", mix_high(fc.threads)),
-             ("mix-blend", mix_blend(fc.threads)))
-    grid = {}
-    for mix_name, profiles in mixes:
-        grid[mix_name, "base"] = shared_job(profiles, BASELINE, config)
-        for hcnt in HCNT_SWEEP:
-            grid[mix_name, hcnt] = shared_job(
-                profiles, scheme_spec("shadow", hcnt=hcnt), config)
-    res = engine.run(grid.values())
-    series: Dict[str, Dict[str, float]] = {}
-    for mix_name, _profiles in mixes:
-        base_counts = _counts(res[grid[mix_name, "base"]])
-        for hcnt in HCNT_SWEEP:
-            counts = _counts(res[grid[mix_name, hcnt]])
-            rel = power.relative_power(counts, base_counts, shadow=True)
-            ratio = counts.rfms / max(1, counts.refreshes)
-            series.setdefault(f"{mix_name}/relative-power", {})[
-                str(hcnt)] = rel
-            series.setdefault(f"{mix_name}/rfm-per-ref", {})[
-                str(hcnt)] = ratio
-    return {"experiment": "fig12", "fidelity": fidelity, "series": series}
+    return run_spec(spec(fidelity), engine=engine, jobs=jobs)
 
 
 def main() -> None:

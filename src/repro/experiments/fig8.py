@@ -5,10 +5,12 @@ multi-threaded GAPBS and NPB, and the mix-high/mix-blend multi-
 programmed mixes (weighted speedup), all normalized to the unprotected
 baseline at the paper's default H_cnt of 4K.
 
-Runs on the experiment engine: the whole grid is enumerated as
-independent jobs up front, deduplicated, served from the persistent
-result cache where possible, and fanned out across ``--jobs`` worker
-processes otherwise.
+The whole figure is one declarative :class:`~repro.spec.ExperimentSpec`
+(:func:`spec`): per-app single-thread cells, per-suite multi-thread
+cells and the mix weighted-speedup cells, each a ``PointSpec`` naming
+its metric and output path.  The generic driver enumerates the jobs,
+deduplicates them, serves cache hits and fans the rest out across
+``--jobs`` workers.
 """
 
 from __future__ import annotations
@@ -16,100 +18,67 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.experiments.configs import DEFAULT_HCNT, fidelity_config
-from repro.experiments.engine import (
-    BASELINE,
-    Engine,
-    WsRelativePlan,
-    alone_job,
-    rfm_scheme_specs,
-    shared_job,
-)
+from repro.experiments.driver import run_spec
+from repro.experiments.engine import Engine, rfm_scheme_specs
 from repro.experiments.report import (
     driver_arg_parser,
     format_table,
     save_results,
 )
+from repro.spec import ExperimentSpec, PointSpec, workload_spec
 from repro.workloads import (
     GAPBS_PROFILES,
     NPB_PROFILES,
-    mix_blend,
-    mix_high,
-    spec_group,
+    SPEC_HIGH,
+    SPEC_LOW,
+    SPEC_MED,
 )
+
+
+def spec(fidelity: str = "smoke",
+         hcnt: int = DEFAULT_HCNT) -> ExperimentSpec:
+    """The figure as data: one point per cell of the paper's grid."""
+    fc = fidelity_config(fidelity)
+    schemes = rfm_scheme_specs(hcnt)
+    st_sim = fc.sim_spec(requests=fc.single_thread_requests)
+    mt_sim = fc.sim_spec()
+    points = []
+    for name, scheme in schemes.items():
+        # Single-threaded SPEC groups: per-app reciprocal execution
+        # time of alone runs, averaged within the group.
+        for group, apps in (("high", SPEC_HIGH), ("med", SPEC_MED),
+                            ("low", SPEC_LOW)):
+            for app in apps:
+                points.append(PointSpec(
+                    "st-relative",
+                    ("relative_performance", name, f"spec-{group}"),
+                    workload=workload_spec("spec", app=app),
+                    scheme=scheme, sim=st_sim))
+        # Multi-threaded suites: homogeneous shared runs, slowest
+        # thread, averaged over the suite's apps.
+        for suite_name, suite in (("gapbs", GAPBS_PROFILES),
+                                  ("npb", NPB_PROFILES)):
+            for app in sorted(suite)[:fc.apps_per_suite]:
+                points.append(PointSpec(
+                    "mt-relative",
+                    ("relative_performance", name, suite_name),
+                    workload=workload_spec(suite_name, app=app,
+                                           threads=fc.mt_threads),
+                    scheme=scheme, sim=mt_sim))
+        # Multi-programmed mixes: weighted speedup vs baseline.
+        for mix in ("mix-high", "mix-blend"):
+            points.append(PointSpec(
+                "ws-relative",
+                ("relative_performance", name, mix),
+                workload=workload_spec(mix, threads=fc.threads),
+                scheme=scheme, sim=mt_sim))
+    return ExperimentSpec("fig8", fidelity, points, meta={"hcnt": hcnt})
 
 
 def run(fidelity: str = "smoke", hcnt: int = DEFAULT_HCNT,
         jobs: int = 1, engine: Optional[Engine] = None) -> Dict:
     """Run the experiment; returns the figure's series as a dict."""
-    fc = fidelity_config(fidelity)
-    engine = engine or Engine(jobs=jobs)
-    schemes = rfm_scheme_specs(hcnt)
-
-    # ---- enumerate the grid as jobs ----------------------------------------------
-    all_jobs = []
-
-    # Single-threaded SPEC groups: reciprocal execution time of alone
-    # runs, scheme vs baseline.
-    st_config = fc.system_config(requests=fc.single_thread_requests)
-    st_cells = {}   # (scheme, group) -> [(scheme_job, base_job), ...]
-    for group in ("high", "med", "low"):
-        profiles = spec_group(group)
-        for name, spec in schemes.items():
-            st_cells[name, group] = [
-                (alone_job(p, spec, st_config),
-                 alone_job(p, BASELINE, st_config))
-                for p in profiles]
-    all_jobs += [j for pairs in st_cells.values()
-                 for pair in pairs for j in pair]
-
-    # Multi-threaded suites: reciprocal execution time of homogeneous
-    # shared runs (slowest thread), scheme vs baseline.
-    mt_config = fc.system_config()
-    mt_cells = {}   # (scheme, suite) -> [(scheme_job, base_job), ...]
-    for suite_name, suite in (("gapbs", GAPBS_PROFILES),
-                              ("npb", NPB_PROFILES)):
-        apps = sorted(suite)[:fc.apps_per_suite]
-        for name, spec in schemes.items():
-            mt_cells[name, suite_name] = [
-                (shared_job([suite[a]] * fc.mt_threads, spec, mt_config),
-                 shared_job([suite[a]] * fc.mt_threads, BASELINE,
-                            mt_config))
-                for a in apps]
-    all_jobs += [j for pairs in mt_cells.values()
-                 for pair in pairs for j in pair]
-
-    # Multi-programmed mixes: weighted speedup relative to baseline.
-    mix_plan = WsRelativePlan(fc.system_config())
-    for mix_name, profiles in (("mix-high", mix_high(fc.threads)),
-                               ("mix-blend", mix_blend(fc.threads))):
-        for name, spec in schemes.items():
-            mix_plan.add((name, mix_name), profiles, spec)
-    all_jobs += mix_plan.jobs
-
-    # ---- execute and assemble ----------------------------------------------------
-    res = engine.run(all_jobs)
-    results: Dict[str, Dict[str, float]] = {name: {} for name in schemes}
-    for (name, group), pairs in st_cells.items():
-        rels = [res[base].thread_finish_cycles[0]
-                / res[scheme].thread_finish_cycles[0]
-                for scheme, base in pairs]
-        results[name][f"spec-{group}"] = sum(rels) / len(rels)
-    for (name, suite_name), pairs in mt_cells.items():
-        rels = [max(res[base].thread_finish_cycles)
-                / max(res[scheme].thread_finish_cycles)
-                for scheme, base in pairs]
-        results[name][suite_name] = sum(rels) / len(rels)
-    for name in schemes:
-        for mix_name in ("mix-high", "mix-blend"):
-            results[name][mix_name] = mix_plan.value((name, mix_name), res)
-
-    # Column order matches the paper (and the pre-engine driver).
-    order = ["spec-high", "spec-med", "spec-low", "gapbs", "npb",
-             "mix-high", "mix-blend"]
-    results = {name: {w: results[name][w] for w in order}
-               for name in results}
-    return {"experiment": "fig8", "fidelity": fidelity, "hcnt": hcnt,
-            "relative_performance": results}
+    return run_spec(spec(fidelity, hcnt), engine=engine, jobs=jobs)
 
 
 def main() -> None:

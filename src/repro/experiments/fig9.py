@@ -2,8 +2,10 @@
 
 Sweeps SHADOW's effective tRCD' over {23, 25, 27} tCK (the default is
 25) against the no-mitigation baseline at 19 tCK, across H_cnt from 16K
-to 2K on mix-high and mix-blend.  Runs on the experiment engine
-(deduplicated jobs, persistent cache, ``--jobs`` workers).
+to 2K on mix-high and mix-blend.  One declarative
+:class:`~repro.spec.ExperimentSpec` of weighted-speedup points, run by
+the generic driver (deduplicated jobs, persistent cache, ``--jobs``
+workers).
 """
 
 from __future__ import annotations
@@ -11,38 +13,41 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.experiments.configs import HCNT_SWEEP, fidelity_config
-from repro.experiments.engine import Engine, WsRelativePlan, scheme_spec
+from repro.experiments.driver import run_spec
+from repro.experiments.engine import Engine
 from repro.experiments.report import (
     driver_arg_parser,
     format_table,
     save_results,
 )
-from repro.workloads import mix_blend, mix_high
+from repro.spec import ExperimentSpec, PointSpec, scheme_spec, workload_spec
 
 TRCD_VALUES = (23, 25, 27)
+
+
+def spec(fidelity: str = "smoke") -> ExperimentSpec:
+    """The figure as data: one point per (mix, tRCD', H_cnt) cell."""
+    fc = fidelity_config(fidelity)
+    sim = fc.sim_spec()
+    points = []
+    for mix in ("mix-high", "mix-blend"):
+        workload = workload_spec(mix, threads=fc.threads)
+        for trcd in TRCD_VALUES:
+            for hcnt in HCNT_SWEEP:
+                points.append(PointSpec(
+                    "ws-relative",
+                    ("series", f"{mix}/tRCD{trcd}", str(hcnt)),
+                    workload=workload,
+                    scheme=scheme_spec("shadow-trcd", trcd=trcd,
+                                       hcnt=hcnt),
+                    sim=sim))
+    return ExperimentSpec("fig9", fidelity, points)
 
 
 def run(fidelity: str = "smoke", jobs: int = 1,
         engine: Optional[Engine] = None) -> Dict:
     """Run the experiment; returns the figure's series as a dict."""
-    fc = fidelity_config(fidelity)
-    engine = engine or Engine(jobs=jobs)
-    plan = WsRelativePlan(fc.system_config())
-    for mix_name, profiles in (("mix-high", mix_high(fc.threads)),
-                               ("mix-blend", mix_blend(fc.threads))):
-        for trcd in TRCD_VALUES:
-            for hcnt in HCNT_SWEEP:
-                plan.add((mix_name, trcd, hcnt), profiles,
-                         scheme_spec("shadow-trcd", trcd=trcd, hcnt=hcnt))
-    res = engine.run(plan.jobs)
-    series: Dict[str, Dict[str, float]] = {}
-    for mix_name in ("mix-high", "mix-blend"):
-        for trcd in TRCD_VALUES:
-            key = f"{mix_name}/tRCD{trcd}"
-            series[key] = {
-                str(hcnt): plan.value((mix_name, trcd, hcnt), res)
-                for hcnt in HCNT_SWEEP}
-    return {"experiment": "fig9", "fidelity": fidelity, "series": series}
+    return run_spec(spec(fidelity), engine=engine, jobs=jobs)
 
 
 def main() -> None:

@@ -1,18 +1,20 @@
 """Scheme factories shared by the figure experiments.
 
-Each entry returns a *fresh* mitigation instance (mitigations carry
-per-run state).  Simulation runs use the fast seeded system RNG inside
-SHADOW; the PRINCE CSPRNG is exercised by the security analyses and its
-own tests (the choice is statistically irrelevant for performance).
+The canonical factory functions live in :mod:`repro.core.factories`
+(registered in the central scheme registry, :data:`repro.spec.SCHEMES`);
+this module re-exports them for the experiment layer and keeps the
+experiment-level calibration constants plus the legacy factory-dict
+helpers some callers still use.
+
+Each factory returns a *fresh* mitigation instance (mitigations carry
+per-run state).
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict
 
-from repro.core import Shadow, ShadowConfig
-from repro.core.config import secure_raaimt
-from repro.core.pairing import CircuitTimings
+from repro.core.factories import make_shadow, make_shadow_with_trcd
 from repro.mitigations import (
     BlockHammer,
     DoubleRefreshRate,
@@ -25,30 +27,6 @@ from repro.mitigations import (
 )
 
 SchemeFactory = Callable[[], Mitigation]
-
-
-def make_shadow(hcnt: int, seed: int = 1) -> Shadow:
-    """SHADOW at the Table II secure RAAIMT for ``hcnt``."""
-    return Shadow(ShadowConfig(raaimt=secure_raaimt(hcnt),
-                               rng_kind="system", rng_seed=seed))
-
-
-def make_shadow_with_trcd(trcd_prime_cycles: int, hcnt: int,
-                          base_trcd: int = 19,
-                          tck_ns: float = 0.75) -> Shadow:
-    """SHADOW with an overridden tRCD' (Figure 9 sensitivity).
-
-    The circuit model's tRD_RM is adjusted so the charged ACT extra
-    lands exactly at ``trcd_prime_cycles - base_trcd`` cycles.
-    """
-    if trcd_prime_cycles <= base_trcd:
-        raise ValueError("tRCD' must exceed the base tRCD")
-    extra_cycles = trcd_prime_cycles - base_trcd
-    # cycles() rounds up, so aim just inside the target cycle count.
-    trd_rm_ns = (extra_cycles - 0.5) * tck_ns
-    circuit = CircuitTimings(trd_rm_ns=trd_rm_ns)
-    return Shadow(ShadowConfig(raaimt=secure_raaimt(hcnt),
-                               rng_kind="system", circuit=circuit))
 
 
 def rfm_scheme_factories(hcnt: int,
@@ -86,6 +64,8 @@ def archsim_scheme_factories(hcnt: int) -> Dict[str, SchemeFactory]:
 
 
 __all__ = [
+    "BLOCKHAMMER_HISTORY_SCALE",
+    "BLOCKHAMMER_RATE_SCALE",
     "NoMitigation",
     "SchemeFactory",
     "archsim_scheme_factories",

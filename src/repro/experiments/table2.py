@@ -3,6 +3,10 @@
 Sweeps RAAIMT in {128, 64, 32} against H_cnt in {8K, 4K, 2K} through the
 Appendix XI analysis (:mod:`repro.analysis.security`) and prints the
 same grid the paper does, marking secure (<1%/rank-year) entries.
+
+The grid is one declarative :class:`~repro.spec.ExperimentSpec` of
+analytic ``security-rank-year`` points (closed-form -- the generic
+driver plans no simulation jobs for them).
 """
 
 from __future__ import annotations
@@ -10,7 +14,9 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.analysis.security import SecurityAnalysis, SecurityParams
+from repro.experiments.driver import METRICS, AnalyticMetric, run_spec
 from repro.experiments.report import format_table, save_results, scientific
+from repro.spec import ExperimentSpec, PointSpec
 
 RAAIMT_VALUES = (128, 64, 32)
 HCNT_VALUES = (8192, 4096, 2048)
@@ -23,24 +29,44 @@ PAPER = {
 }
 
 
+class _SecurityRankYear(AnalyticMetric):
+    """One Table II cell: closed-form flip probability per rank-year."""
+
+    def value(self, rp, plan, results):
+        analysis = SecurityAnalysis(
+            SecurityParams(hcnt=rp.params["hcnt"],
+                           raaimt=rp.params["raaimt"]))
+        result = analysis.rank_year()
+        return {
+            "probability": result["overall"],
+            "scenario1": result["scenario1"],
+            "scenario2": result["scenario2"],
+            "scenario3": result["scenario3"],
+            "secure": result["overall"] < 0.01,
+            "paper": rp.params["paper"],
+        }
+
+
+METRICS.register("security-rank-year", _SecurityRankYear())
+
+
+def spec(fidelity: str = "full") -> ExperimentSpec:
+    """The table as data: one analytic point per (RAAIMT, H_cnt) cell."""
+    points = []
+    for raaimt in RAAIMT_VALUES:
+        for hcnt in HCNT_VALUES:
+            points.append(PointSpec(
+                "security-rank-year",
+                ("cells", f"{raaimt},{hcnt}"),
+                params={"raaimt": raaimt, "hcnt": hcnt,
+                        "paper": PAPER[(raaimt, hcnt)]}))
+    return ExperimentSpec("table2", fidelity, points)
+
+
 def run(fidelity: str = "full") -> Dict:
     """Compute the grid; ``fidelity`` is accepted for interface parity
     (the analysis is closed-form and always runs at full accuracy)."""
-    cells = {}
-    for raaimt in RAAIMT_VALUES:
-        for hcnt in HCNT_VALUES:
-            analysis = SecurityAnalysis(
-                SecurityParams(hcnt=hcnt, raaimt=raaimt))
-            result = analysis.rank_year()
-            cells[f"{raaimt},{hcnt}"] = {
-                "probability": result["overall"],
-                "scenario1": result["scenario1"],
-                "scenario2": result["scenario2"],
-                "scenario3": result["scenario3"],
-                "secure": result["overall"] < 0.01,
-                "paper": PAPER[(raaimt, hcnt)],
-            }
-    return {"experiment": "table2", "cells": cells}
+    return run_spec(spec(fidelity))
 
 
 def main() -> None:

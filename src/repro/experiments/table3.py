@@ -3,6 +3,10 @@
 Regenerates each row (tRCD', row copy, tRCD_RM, tWR_RM, tRD_RM) from
 the analytical circuit model plus the Section VII-B shuffle totals for
 both speed grades.
+
+One declarative :class:`~repro.spec.ExperimentSpec` of analytic points:
+``circuit-table3`` produces the row grid, one ``shuffle-total`` point
+per speed grade produces the Section VII-B totals.
 """
 
 from __future__ import annotations
@@ -10,7 +14,9 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.analysis.circuit import CircuitModel
+from repro.experiments.driver import METRICS, AnalyticMetric, run_spec
 from repro.experiments.report import format_table, save_results
+from repro.spec import ExperimentSpec, PointSpec
 
 #: The published table for the comparison column.
 PAPER = {
@@ -22,27 +28,49 @@ PAPER = {
 }
 
 
+class _CircuitTable3(AnalyticMetric):
+    """Every Table III row from the analytical circuit model."""
+
+    def value(self, rp, plan, results):
+        rows = {}
+        for definition, abbrev, timing, baseline, ratio in \
+                CircuitModel().table3().rows():
+            key = abbrev if abbrev != "-" else "row-copy"
+            rows[key] = {
+                "definition": definition,
+                "timing_ns": timing,
+                "baseline_ns": baseline,
+                "ratio": ratio,
+            }
+        return rows
+
+
+class _ShuffleTotal(AnalyticMetric):
+    """The Section VII-B end-to-end shuffle total for one speed grade."""
+
+    def value(self, rp, plan, results):
+        return CircuitModel().shuffle_total_ns(rp.params["tras_ns"],
+                                               rp.params["trp_ns"])
+
+
+METRICS.register("circuit-table3", _CircuitTable3())
+METRICS.register("shuffle-total", _ShuffleTotal())
+
+
+def spec(fidelity: str = "full") -> ExperimentSpec:
+    """The table as data: the row grid plus the two shuffle totals."""
+    return ExperimentSpec("table3", fidelity, (
+        PointSpec("circuit-table3", ("rows",)),
+        PointSpec("shuffle-total", ("shuffle_total_ns", "DDR4-2666"),
+                  params={"tras_ns": 32.25, "trp_ns": 14.25}),
+        PointSpec("shuffle-total", ("shuffle_total_ns", "DDR5-4800"),
+                  params={"tras_ns": 32.0, "trp_ns": 16.25}),
+    ))
+
+
 def run(fidelity: str = "full") -> Dict:
     """Compute every Table III row; returns the result dict."""
-    model = CircuitModel()
-    table = model.table3()
-    rows = {}
-    for definition, abbrev, timing, baseline, ratio in table.rows():
-        key = abbrev if abbrev != "-" else "row-copy"
-        rows[key] = {
-            "definition": definition,
-            "timing_ns": timing,
-            "baseline_ns": baseline,
-            "ratio": ratio,
-        }
-    return {
-        "experiment": "table3",
-        "rows": rows,
-        "shuffle_total_ns": {
-            "DDR4-2666": model.shuffle_total_ns(32.25, 14.25),
-            "DDR5-4800": model.shuffle_total_ns(32.0, 16.25),
-        },
-    }
+    return run_spec(spec(fidelity))
 
 
 def main() -> None:

@@ -38,6 +38,64 @@ from repro.mitigations.trackers import (
     MisraGries,
 )
 
+# -- spec-registry entries ---------------------------------------------------------
+#
+# Every comparison scheme registers a plain-keyword factory so a
+# ``SchemeSpec`` (CLI flag, experiment grid point, rehydrated JSON job)
+# can construct it by name.  The SHADOW variants register from
+# ``repro.core.factories`` (SHADOW is the paper's contribution, not a
+# baseline).
+
+from repro.spec.registry import SCHEMES as _SCHEMES
+
+
+@_SCHEMES.register("none")
+def _make_none() -> NoMitigation:
+    return NoMitigation()
+
+
+@_SCHEMES.register("drr")
+def _make_drr() -> DoubleRefreshRate:
+    return DoubleRefreshRate()
+
+
+@_SCHEMES.register("parfm")
+def _make_parfm(hcnt: int, radius: int = 1) -> Parfm:
+    return Parfm.for_hcnt(hcnt, radius)
+
+
+@_SCHEMES.register("mithril-perf")
+def _make_mithril_perf(hcnt: int, radius: int = 1) -> Mithril:
+    return mithril_perf(hcnt, radius)
+
+
+@_SCHEMES.register("mithril-area")
+def _make_mithril_area(hcnt: int, radius: int = 1) -> Mithril:
+    return mithril_area(hcnt, radius)
+
+
+@_SCHEMES.register("blockhammer")
+def _make_blockhammer(hcnt: int, history_scale: float = 1.0,
+                      rate_scale: float = 1.0) -> BlockHammer:
+    return BlockHammer.for_hcnt(hcnt, history_scale=history_scale,
+                                rate_scale=rate_scale)
+
+
+@_SCHEMES.register("rrs")
+def _make_rrs(hcnt: int) -> RandomizedRowSwap:
+    return RandomizedRowSwap.for_hcnt(hcnt)
+
+
+@_SCHEMES.register("graphene")
+def _make_graphene(hcnt: int) -> Graphene:
+    return Graphene(hcnt)
+
+
+@_SCHEMES.register("para")
+def _make_para(hcnt: int) -> Para:
+    from repro.mitigations.para import para_probability
+    return Para(para_probability(hcnt))
+
 __all__ = [
     "ActOutcome",
     "BlockHammer",

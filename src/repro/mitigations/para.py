@@ -13,7 +13,6 @@ pick ``p`` per ``H_cnt``.
 
 from __future__ import annotations
 
-import math
 
 from repro.dram.device import BankAddress
 from repro.mitigations.base import ActOutcome, Mitigation

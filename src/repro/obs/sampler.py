@@ -19,7 +19,7 @@ stream byte-identical (pinned by ``tests/test_obs_golden.py``).
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 
 class SnapshotSampler:

@@ -9,7 +9,7 @@ fixed request budget per thread, IPC ratios reduce to time ratios:
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
 
 def throughput(requests: int, cycles: int) -> float:

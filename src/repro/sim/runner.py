@@ -19,12 +19,13 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.mitigations.base import Mitigation
 from repro.mitigations.none import NoMitigation
 from repro.sim.metrics import weighted_speedup
 from repro.sim.system import System, SystemConfig, SystemResult
+from repro.spec import SchemeSpec
 from repro.utils.cache import ResultCache
 from repro.workloads.trace import WorkloadProfile
 
@@ -32,6 +33,11 @@ from repro.workloads.trace import WorkloadProfile
 #: per-run state (remapping tables, trackers) that must not leak
 #: between the shared run and the alone runs.
 MitigationFactory = Callable[[], Mitigation]
+
+#: Every runner entry point takes either a factory callable or a
+#: declarative :class:`~repro.spec.SchemeSpec` (built through the
+#: central registry).
+SchemeLike = Union[MitigationFactory, SchemeSpec]
 
 
 @dataclass
@@ -61,6 +67,23 @@ class ExperimentRunner:
     #: tables, trackers -- on every call.
     _factory_names: Dict[MitigationFactory, str] = field(
         default_factory=dict)
+    #: Bound ``spec.build`` methods memoised per spec: each attribute
+    #: access creates a fresh bound method, which would defeat the
+    #: factory-name memo above if not pinned here.
+    _spec_factories: Dict[SchemeSpec, MitigationFactory] = field(
+        default_factory=dict)
+
+    def _coerce(self, scheme: Optional[SchemeLike]) -> MitigationFactory:
+        """Accept a factory callable or a SchemeSpec (or None)."""
+        if scheme is None:
+            return NoMitigation
+        if isinstance(scheme, SchemeSpec):
+            factory = self._spec_factories.get(scheme)
+            if factory is None:
+                factory = scheme.build
+                self._spec_factories[scheme] = factory
+            return factory
+        return scheme
 
     def _scheme_name(self, make_mitigation: MitigationFactory) -> str:
         name = self._factory_names.get(make_mitigation)
@@ -79,15 +102,17 @@ class ExperimentRunner:
         }
 
     def run_shared(self, profiles: List[WorkloadProfile],
-                   make_mitigation: MitigationFactory,
+                   make_mitigation: SchemeLike,
                    observer=None) -> SystemResult:
+        make_mitigation = self._coerce(make_mitigation)
         system = System(profiles, make_mitigation(), observer=observer,
                         config=self.config)
         return system.run()
 
     def run_alone(self, profile: WorkloadProfile,
-                  make_mitigation: MitigationFactory) -> int:
+                  make_mitigation: SchemeLike) -> int:
         """Single-thread finish time, cached by (profile, scheme)."""
+        make_mitigation = self._coerce(make_mitigation)
         key = (profile.name, self._scheme_name(make_mitigation))
         if key not in self._alone_cache:
             spec = (self._alone_spec(profile, key[1])
@@ -107,9 +132,9 @@ class ExperimentRunner:
         return self._alone_cache[key]
 
     def run(self, profiles: List[WorkloadProfile],
-            make_mitigation: Optional[MitigationFactory] = None,
+            make_mitigation: Optional[SchemeLike] = None,
             observer=None) -> RunResult:
-        make_mitigation = make_mitigation or NoMitigation
+        make_mitigation = self._coerce(make_mitigation)
         shared = self.run_shared(profiles, make_mitigation, observer)
         alone = [self.run_alone(p, make_mitigation) for p in profiles]
         return RunResult(
@@ -119,8 +144,8 @@ class ExperimentRunner:
         )
 
     def relative_performance(self, profiles: List[WorkloadProfile],
-                             make_scheme: MitigationFactory,
-                             make_baseline: Optional[MitigationFactory] = None
+                             make_scheme: SchemeLike,
+                             make_baseline: Optional[SchemeLike] = None
                              ) -> float:
         """WS(scheme)/WS(baseline): the y-axis of Figures 8-11.
 
@@ -130,7 +155,8 @@ class ExperimentRunner:
         slows solo execution -- throttling hits a hot thread alone too
         -- paradoxically raise its ratio above 1.
         """
-        make_baseline = make_baseline or NoMitigation
+        make_scheme = self._coerce(make_scheme)
+        make_baseline = self._coerce(make_baseline)
         alone = [self.run_alone(p, make_baseline) for p in profiles]
         shared_scheme = self.run_shared(profiles, make_scheme)
         shared_base = self.run_shared(profiles, make_baseline)
@@ -140,11 +166,12 @@ class ExperimentRunner:
         return ws_scheme / ws_base
 
     def single_thread_relative(self, profile: WorkloadProfile,
-                               make_scheme: MitigationFactory,
-                               make_baseline: Optional[MitigationFactory] = None
+                               make_scheme: SchemeLike,
+                               make_baseline: Optional[SchemeLike] = None
                                ) -> float:
         """Reciprocal-execution-time ratio for one thread (Fig. 8 left)."""
-        make_baseline = make_baseline or NoMitigation
+        make_scheme = self._coerce(make_scheme)
+        make_baseline = self._coerce(make_baseline)
         scheme_cycles = self.run_alone(profile, make_scheme)
         base_cycles = self.run_alone(profile, make_baseline)
         return base_cycles / scheme_cycles

@@ -1,0 +1,52 @@
+"""Declarative configuration: typed specs + central factory registries.
+
+One vocabulary describes every run in the repository -- ``(scheme x
+workload x timing x fidelity)`` grid points are plain frozen dataclasses
+that round-trip through JSON, and the factories they name live in
+central registries the provider packages fill at import time.  The CLI,
+the experiment engine, the figure drivers and the bench harness all
+construct runs from this vocabulary, so a job is a JSON blob any worker
+(local process pool today, remote shard tomorrow) can rehydrate.
+
+See DESIGN.md section 11 for the architecture and cache-key derivation.
+"""
+
+from repro.spec.base import SpecBase, freeze, freeze_params, thaw, thaw_params
+from repro.spec.registry import (
+    Registry,
+    SCHEMES,
+    TIMINGS,
+    UnknownNameError,
+    WORKLOADS,
+)
+from repro.spec.specs import (
+    ExperimentSpec,
+    PointSpec,
+    SchemeSpec,
+    SimSpec,
+    TimingSpec,
+    WorkloadSpec,
+    scheme_spec,
+    workload_spec,
+)
+
+__all__ = [
+    "ExperimentSpec",
+    "PointSpec",
+    "Registry",
+    "SCHEMES",
+    "SchemeSpec",
+    "SimSpec",
+    "SpecBase",
+    "TIMINGS",
+    "TimingSpec",
+    "UnknownNameError",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "freeze",
+    "freeze_params",
+    "scheme_spec",
+    "thaw",
+    "thaw_params",
+    "workload_spec",
+]

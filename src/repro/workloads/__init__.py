@@ -33,6 +33,68 @@ from repro.workloads.tracefile import (
     load_trace_file,
 )
 
+# -- spec-registry entries ---------------------------------------------------------
+#
+# Each factory returns the profile list one ``WorkloadSpec`` resolves
+# to, so a workload is nameable from plain data (CLI flags, experiment
+# grids, rehydrated JSON jobs).
+
+import difflib as _difflib
+
+from repro.spec.registry import WORKLOADS as _WORKLOADS
+
+
+def _named_profile(table, table_name, app):
+    try:
+        return table[app]
+    except KeyError:
+        hint = ""
+        close = _difflib.get_close_matches(app, table, n=1)
+        if close:
+            hint = f" (did you mean {close[0]!r}?)"
+        raise ValueError(f"unknown {table_name} application {app!r}{hint}; "
+                         f"choose from {sorted(table)}") from None
+
+
+@_WORKLOADS.register("spec")
+def _spec_app(app: str, threads: int = 1):
+    return [_named_profile(SPEC_PROFILES, "SPEC", app)] * threads
+
+
+@_WORKLOADS.register("spec-group")
+def _spec_group(group: str):
+    return spec_group(group)
+
+
+@_WORKLOADS.register("gapbs")
+def _gapbs_app(app: str, threads: int = 1):
+    return [_named_profile(GAPBS_PROFILES, "GAPBS", app)] * threads
+
+
+@_WORKLOADS.register("npb")
+def _npb_app(app: str, threads: int = 1):
+    return [_named_profile(NPB_PROFILES, "NPB", app)] * threads
+
+
+_WORKLOADS.register("mix-high", mix_high)
+_WORKLOADS.register("mix-blend", mix_blend)
+_WORKLOADS.register("mix-random", mix_random)
+
+
+@_WORKLOADS.register("stream")
+def _stream(mpki: float = 40.0, threads: int = 1):
+    return [stream_profile(mpki)] * threads
+
+
+@_WORKLOADS.register("random-stream")
+def _random_stream(mpki: float = 150.0, threads: int = 1):
+    return [random_stream_profile(mpki)] * threads
+
+
+@_WORKLOADS.register("pointer-chase")
+def _pointer_chase(mpki: float = 30.0, threads: int = 1):
+    return [pointer_chase_profile(mpki)] * threads
+
 __all__ = [
     "FileTrace",
     "GAPBS_PROFILES",

@@ -1,6 +1,5 @@
 """Memory controller integration: scheduling, refresh, RFM, mitigation hooks."""
 
-import pytest
 
 from repro.controller.address import MemoryLocation
 from repro.controller.mc import McConfig, MemoryController

@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 from repro.core.config import SECURE_RAAIMT, ShadowConfig, secure_raaimt
 from repro.core.controller import ShadowBankController
 from repro.core.incremental import IncrementalRefresh
-from repro.core.pairing import CircuitTimings, ShadowTimings
+from repro.core.pairing import ShadowTimings
 from repro.core.remapping import RemappingRow
 from repro.core.shadow import Shadow
 from repro.core.shuffle import plan_shuffle

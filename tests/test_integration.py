@@ -1,7 +1,6 @@
 """End-to-end integration: attacks through the full stack, protocol
 fuzzing, and cross-layer consistency checks."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

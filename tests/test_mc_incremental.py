@@ -5,7 +5,6 @@ tie-breaking, O(1) pending counters, refresh obligations on idle
 channels, and cache invalidation on translation-generation bumps.
 """
 
-import pytest
 
 from repro.controller.address import MemoryLocation
 from repro.controller.mc import McConfig, MemoryController

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.controller.address import AddressMapping, MemoryLocation
+from repro.controller.address import MemoryLocation
 from repro.controller.request import MemoryRequest
 from repro.core import Shadow, ShadowConfig
 from repro.dram.device import DramGeometry
@@ -18,7 +18,7 @@ from repro.sim import (
 )
 from repro.sim.core_model import ThreadState
 from repro.sim.metrics import relative_weighted_speedup
-from repro.workloads import SPEC_PROFILES, WorkloadProfile
+from repro.workloads import SPEC_PROFILES
 
 SMALL_GEO = DramGeometry(
     channels=2, ranks_per_channel=1, banks_per_rank=4,

@@ -1,6 +1,5 @@
 """Memory templating campaigns: static mapping vs SHADOW."""
 
-import pytest
 
 from repro.dram.subarray import SubarrayLayout
 from repro.rowhammer.templating import (

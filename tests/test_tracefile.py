@@ -7,7 +7,6 @@ import pytest
 
 from repro.controller.address import AddressMapping, MemoryLocation
 from repro.dram.device import DramGeometry
-from repro.sim import System, SystemConfig
 from repro.sim.core_model import ThreadState
 from repro.workloads import SPEC_PROFILES, TraceGenerator
 from repro.workloads.tracefile import (

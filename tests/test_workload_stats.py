@@ -7,7 +7,7 @@ import pytest
 from repro.controller.address import AddressMapping, MemoryLocation
 from repro.dram.device import DramGeometry
 from repro.workloads import SPEC_PROFILES, TraceGenerator
-from repro.workloads.stats import TraceStats, analyze, summarize
+from repro.workloads.stats import analyze, summarize
 
 L = MemoryLocation
 
