@@ -182,9 +182,15 @@ def run_one(profile: BenchProfile, quick: bool = False, repeats: int = 1,
 def run_bench(names: Optional[List[str]] = None, quick: bool = False,
               repeats: int = 1, with_cprofile: bool = False,
               log=print,
-              obs_factory: Optional[Callable[[], object]] = None
-              ) -> Dict[str, Dict]:
-    """Run the pinned profile set; returns ``{name: entry}``."""
+              obs_factory: Optional[Callable[[], object]] = None,
+              keep_going: bool = False) -> Dict[str, Dict]:
+    """Run the pinned profile set; returns ``{name: entry}``.
+
+    With ``keep_going``, a profile that raises becomes an ``{"error":
+    {"type", "message"}}`` entry and the sweep continues -- the report
+    stays complete and :func:`check_regression` flags the failure --
+    instead of one bad profile aborting the whole bench run.
+    """
     if names is None:
         names = list(BENCH_PROFILES)
     unknown = sorted(set(names) - set(BENCH_PROFILES))
@@ -193,9 +199,24 @@ def run_bench(names: Optional[List[str]] = None, quick: bool = False,
                          f"choose from {sorted(BENCH_PROFILES)}")
     results = {}
     for name in names:
-        entry = run_one(BENCH_PROFILES[name], quick=quick, repeats=repeats,
-                        with_cprofile=with_cprofile,
-                        obs_factory=obs_factory)
+        try:
+            entry = run_one(BENCH_PROFILES[name], quick=quick,
+                            repeats=repeats, with_cprofile=with_cprofile,
+                            obs_factory=obs_factory)
+        except Exception as exc:
+            if not keep_going:
+                raise
+            entry = {
+                "description": BENCH_PROFILES[name].description,
+                "quick": quick,
+                "error": {"type": type(exc).__name__,
+                          "message": str(exc)},
+            }
+            results[name] = entry
+            if log is not None:
+                log(f"{name:>18}: FAILED "
+                    f"({type(exc).__name__}: {exc})")
+            continue
         results[name] = entry
         if log is not None:
             log(f"{name:>18}: {entry['cycles']:>9} cycles in "
@@ -394,6 +415,11 @@ def check_regression(results: Dict[str, Dict], baseline: Dict,
     base_variant = baseline.get("variants", {}).get(variant, {})
     failures = []
     for name, entry in results.items():
+        if "error" in entry:
+            failures.append(
+                f"{name}: failed to run ({entry['error']['type']}: "
+                f"{entry['error']['message']})")
+            continue
         base = base_variant.get(name)
         if base is None:
             continue

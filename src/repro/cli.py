@@ -71,30 +71,33 @@ def resolve_profiles(workload: str, threads: int):
         raise SystemExit(str(exc)) from None
 
 
-def _run_spec_file(path: str, jobs: int, no_cache: bool) -> int:
+def _run_spec_file(args) -> int:
     """Run a serialized ExperimentSpec through the generic driver."""
     import json
 
     from repro.experiments.driver import run_spec
     from repro.experiments.engine import Engine
-    from repro.experiments.report import save_results
+    from repro.experiments.report import report_failures, save_results
     from repro.spec import ExperimentSpec
 
-    with open(path) as handle:
+    with open(args.spec) as handle:
         spec = ExperimentSpec.from_dict(json.load(handle))
-    engine = Engine(jobs=jobs, use_cache=not no_cache)
+    engine = Engine(jobs=args.jobs, use_cache=not args.no_cache,
+                    retries=args.retries, job_timeout=args.job_timeout,
+                    keep_going=args.keep_going)
     results = run_spec(spec, engine=engine)
     print(f"experiment={spec.name} fidelity={spec.fidelity} "
           f"points={len(spec.points)}")
+    report_failures(engine)
     print("engine:", engine.stats.summary())
     print("saved:", save_results(f"{spec.name}_{spec.fidelity}", results))
-    return 0
+    return 1 if engine.failures else 0
 
 
 def cmd_run(args) -> int:
     """Handle ``shadow-repro run``."""
     if args.spec:
-        return _run_spec_file(args.spec, args.jobs, args.no_cache)
+        return _run_spec_file(args)
     profiles = resolve_profiles(args.workload, args.threads)
     mitigation = make_scheme(args.scheme, args.hcnt)
     config = SystemConfig(requests_per_thread=args.requests,
@@ -277,11 +280,14 @@ def cmd_bench(args) -> int:
         results = run_bench(names=names, quick=args.quick,
                             repeats=args.repeats,
                             with_cprofile=args.profile,
-                            obs_factory=obs_factory)
+                            obs_factory=obs_factory,
+                            keep_going=args.keep_going)
     except ValueError as exc:
         raise SystemExit(str(exc))
     if args.profile:
         for name, entry in results.items():
+            if "cprofile_top" not in entry:
+                continue
             print(f"-- cProfile top for {name} --")
             for row in entry["cprofile_top"]:
                 print(f"  {row['cumtime_s']:>8.3f}s cum "
@@ -300,6 +306,11 @@ def cmd_bench(args) -> int:
             return 1
         print(f"no regression vs {args.baseline} "
               f"(threshold {args.max_regression:.0%})")
+    errored = sorted(n for n, e in results.items() if "error" in e)
+    if errored:
+        print(f"bench profiles failed: {', '.join(errored)}",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -322,17 +333,41 @@ def cmd_experiment(args) -> int:
         print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
         return 0
     argv = [args.fidelity] if args.fidelity else []
+    engine_flags_used = (args.jobs != 1 or args.no_cache or args.retries
+                         or args.job_timeout is not None or args.keep_going)
     if args.name in ENGINE_EXPERIMENTS:
         if args.jobs != 1:
             argv += ["--jobs", str(args.jobs)]
         if args.no_cache:
             argv.append("--no-cache")
-    elif args.jobs != 1 or args.no_cache:
-        raise SystemExit(f"--jobs/--no-cache only apply to "
+        if args.retries:
+            argv += ["--retries", str(args.retries)]
+        if args.job_timeout is not None:
+            argv += ["--job-timeout", str(args.job_timeout)]
+        if args.keep_going:
+            argv.append("--keep-going")
+    elif engine_flags_used:
+        raise SystemExit(f"--jobs/--no-cache/--retries/--job-timeout/"
+                         f"--keep-going only apply to "
                          f"{sorted(ENGINE_EXPERIMENTS)}")
     sys.argv = [args.name] + argv
     module.main()
     return 0
+
+
+def _add_fault_tolerance_flags(parser, scope: str) -> None:
+    """The engine's failure-handling knobs, shared by run/experiment."""
+    parser.add_argument("--retries", type=int, default=0, metavar="N",
+                        help=f"retry each failing job up to N times with "
+                             f"exponential backoff {scope} (default: 0)")
+    parser.add_argument("--job-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help=f"kill any single job running longer than "
+                             f"this {scope} (worker pools only)")
+    parser.add_argument("--keep-going", action="store_true",
+                        help=f"record failed jobs and finish with partial "
+                             f"results plus a failure report {scope} "
+                             f"(default: fail fast)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -367,6 +402,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for --spec runs")
     run_p.add_argument("--no-cache", action="store_true",
                        help="bypass the result cache for --spec runs")
+    _add_fault_tolerance_flags(run_p, "for --spec runs")
     run_p.set_defaults(func=cmd_run)
 
     stats_p = sub.add_parser(
@@ -439,6 +475,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "(fig8-fig12, ablations)")
     exp_p.add_argument("--no-cache", action="store_true",
                        help="bypass the persistent result cache")
+    _add_fault_tolerance_flags(exp_p, "for engine-backed drivers")
     exp_p.add_argument("--dump-spec", action="store_true",
                        help="print the driver's ExperimentSpec as JSON "
                             "instead of running it (feed to 'run --spec')")
@@ -462,6 +499,10 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="FRAC",
                          help="allowed cycles/s drop vs baseline "
                               "(default 0.30)")
+    bench_p.add_argument("--keep-going", action="store_true",
+                         help="a profile that fails to run is recorded "
+                              "as an error entry instead of aborting "
+                              "the whole bench sweep")
     bench_p.add_argument("--obs", action="store_true",
                          help="run with full observability on (metrics + "
                               "trace + sampler)")

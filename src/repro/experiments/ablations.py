@@ -33,7 +33,9 @@ from repro.experiments.driver import METRICS, AnalyticMetric, run_spec
 from repro.experiments.engine import Engine
 from repro.experiments.report import (
     driver_arg_parser,
+    engine_from_args,
     format_table,
+    report_failures,
     save_results,
 )
 from repro.rowhammer.adversary import ScenarioIIAttacker
@@ -131,24 +133,27 @@ def run(fidelity: str = "smoke", jobs: int = 1,
 def main() -> None:
     """Console entry point: print the ablation tables."""
     args = driver_arg_parser("ablations").parse_args()
-    engine = Engine(jobs=args.jobs, use_cache=not args.no_cache)
+    engine = engine_from_args(args)
     results = run(args.fidelity, jobs=args.jobs, engine=engine)
-    rows = [[name, v["act_extra_cycles"], v["trcd_prime_ns"],
-             v["rfm_work_ns"]]
-            for name, v in results["timing"].items()]
-    print(format_table(
-        ["variant", "ACT extra (cyc)", "tRCD' (ns)", "RFM work (ns)"],
-        rows, title="Ablation: timing charges"))
-    print()
-    rows = [[k, v] for k, v in results["protection"].items()]
-    print(format_table(["variant", "flip rate"], rows,
-                       title="Ablation: scenario-II Monte Carlo flips"))
-    print()
-    rows = [[k, v] for k, v in results["performance"].items()]
-    print(format_table(["variant", "rel. weighted speedup"], rows,
-                       title="Ablation: performance (mix-high)"))
+    if not report_failures(engine):
+        rows = [[name, v["act_extra_cycles"], v["trcd_prime_ns"],
+                 v["rfm_work_ns"]]
+                for name, v in results["timing"].items()]
+        print(format_table(
+            ["variant", "ACT extra (cyc)", "tRCD' (ns)", "RFM work (ns)"],
+            rows, title="Ablation: timing charges"))
+        print()
+        rows = [[k, v] for k, v in results["protection"].items()]
+        print(format_table(["variant", "flip rate"], rows,
+                           title="Ablation: scenario-II Monte Carlo flips"))
+        print()
+        rows = [[k, v] for k, v in results["performance"].items()]
+        print(format_table(["variant", "rel. weighted speedup"], rows,
+                           title="Ablation: performance (mix-high)"))
     print("engine:", engine.stats.summary())
     print("saved:", save_results(f"ablations_{args.fidelity}", results))
+    if engine.failures:
+        raise SystemExit(1)
 
 
 if __name__ == "__main__":

@@ -208,6 +208,13 @@ def run_spec(spec: ExperimentSpec, engine: Optional[Engine] = None,
     its group path.  Points sharing a path are averaged in insertion
     order, reproducing the per-group means of the pre-spec drivers
     float-for-float.
+
+    With a keep-going engine, jobs that failed permanently are missing
+    from the result dict: points that depend on them are skipped (they
+    simply don't contribute to their group's average) and the output
+    gains a ``"failures"`` section -- the engine's failure report plus
+    the skipped group paths -- so a driver gets partial results and a
+    structured report instead of a mid-sweep traceback.
     """
     engine = engine or Engine(jobs=jobs)
 
@@ -247,9 +254,19 @@ def run_spec(spec: ExperimentSpec, engine: Optional[Engine] = None,
     output.update(thaw_params(spec.meta))
     groups: Dict[Tuple[str, ...], List[Any]] = {}
     order: List[Tuple[str, ...]] = []
+    skipped: List[str] = []
     for rp, plan in zip(resolved, plans):
         metric = METRICS.resolve(rp.point.metric)
-        value = metric.value(rp, plan, results)
+        try:
+            value = metric.value(rp, plan, results)
+        except KeyError:
+            # A job this point needs failed permanently (keep-going
+            # engines return partial results); anything else is a bug
+            # and must not be swallowed.
+            if not engine.failures:
+                raise
+            skipped.append("/".join(rp.point.group))
+            continue
         path = rp.point.group
         if path not in groups:
             groups[path] = []
@@ -259,13 +276,18 @@ def run_spec(spec: ExperimentSpec, engine: Optional[Engine] = None,
         values = groups[path]
         cell = values[0] if len(values) == 1 else sum(values) / len(values)
         _insert(output, path, cell)
+    if engine.failures:
+        output["failures"] = {
+            "jobs": engine.failure_report(),
+            "skipped_points": skipped,
+        }
     return output
 
 
 def main(argv: Optional[List[str]] = None) -> None:
     """Run a serialized experiment spec: ``driver SPEC.json``."""
     import argparse
-    from repro.experiments.report import save_results
+    from repro.experiments.report import report_failures, save_results
     parser = argparse.ArgumentParser(
         prog="driver", description="run a serialized experiment spec")
     parser.add_argument("spec", help="path to an ExperimentSpec JSON file")
@@ -273,11 +295,24 @@ def main(argv: Optional[List[str]] = None) -> None:
                         help="worker processes (default: 1, run inline)")
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore and do not write results/.cache")
+    parser.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="retry each failing job up to N times with "
+                             "exponential backoff (default: 0)")
+    parser.add_argument("--job-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="kill any single job running longer than "
+                             "this (worker pools only; default: none)")
+    parser.add_argument("--keep-going", action="store_true",
+                        help="record failed jobs and finish with partial "
+                             "results instead of aborting")
     args = parser.parse_args(argv)
     with open(args.spec) as handle:
         spec = ExperimentSpec.from_dict(json.load(handle))
-    engine = Engine(jobs=args.jobs, use_cache=not args.no_cache)
+    engine = Engine(jobs=args.jobs, use_cache=not args.no_cache,
+                    retries=args.retries, job_timeout=args.job_timeout,
+                    keep_going=args.keep_going)
     results = run_spec(spec, engine=engine)
+    report_failures(engine)
     print("engine:", engine.stats.summary())
     print("saved:", save_results(f"{spec.name}_{spec.fidelity}", results))
 

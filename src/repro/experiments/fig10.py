@@ -20,7 +20,9 @@ from repro.experiments.driver import run_spec
 from repro.experiments.engine import Engine
 from repro.experiments.report import (
     driver_arg_parser,
+    engine_from_args,
     format_table,
+    report_failures,
     save_results,
 )
 from repro.spec import ExperimentSpec, PointSpec, scheme_spec, workload_spec
@@ -64,18 +66,21 @@ def run(fidelity: str = "smoke", hcnt: int = FIXED_HCNT,
 def main() -> None:
     """Console entry point: print the regenerated figure series."""
     args = driver_arg_parser("fig10").parse_args()
-    engine = Engine(jobs=args.jobs, use_cache=not args.no_cache)
+    engine = engine_from_args(args)
     results = run(args.fidelity, jobs=args.jobs, engine=engine)
-    radii = results["radii"]
-    rows = [[key] + [vals[str(r)] for r in radii]
-            for key, vals in results["series"].items()]
-    print(format_table(
-        ["series"] + [f"radius={r}" for r in radii], rows,
-        title=f"Figure 10: blast-radius sensitivity, weighted speedup "
-              f"relative to baseline (Hcnt={results['hcnt']}, "
-              f"{args.fidelity})"))
+    if not report_failures(engine):
+        radii = results["radii"]
+        rows = [[key] + [vals[str(r)] for r in radii]
+                for key, vals in results["series"].items()]
+        print(format_table(
+            ["series"] + [f"radius={r}" for r in radii], rows,
+            title=f"Figure 10: blast-radius sensitivity, weighted "
+                  f"speedup relative to baseline (Hcnt={results['hcnt']}, "
+                  f"{args.fidelity})"))
     print("engine:", engine.stats.summary())
     print("saved:", save_results(f"fig10_{args.fidelity}", results))
+    if engine.failures:
+        raise SystemExit(1)
 
 
 if __name__ == "__main__":

@@ -22,7 +22,9 @@ from repro.experiments.driver import run_spec
 from repro.experiments.engine import Engine, rfm_scheme_specs
 from repro.experiments.report import (
     driver_arg_parser,
+    engine_from_args,
     format_table,
+    report_failures,
     save_results,
 )
 from repro.spec import ExperimentSpec, PointSpec, workload_spec
@@ -84,18 +86,21 @@ def run(fidelity: str = "smoke", hcnt: int = DEFAULT_HCNT,
 def main() -> None:
     """Console entry point: print the regenerated figure series."""
     args = driver_arg_parser("fig8").parse_args()
-    engine = Engine(jobs=args.jobs, use_cache=not args.no_cache)
+    engine = engine_from_args(args)
     results = run(args.fidelity, jobs=args.jobs, engine=engine)
-    series = results["relative_performance"]
-    workloads = list(next(iter(series.values())))
-    rows = [[name] + [series[name][w] for w in workloads]
-            for name in series]
-    print(format_table(
-        ["scheme"] + workloads, rows,
-        title=f"Figure 8: performance relative to no-mitigation "
-              f"(Hcnt={results['hcnt']}, {args.fidelity})"))
+    if not report_failures(engine):
+        series = results["relative_performance"]
+        workloads = list(next(iter(series.values())))
+        rows = [[name] + [series[name][w] for w in workloads]
+                for name in series]
+        print(format_table(
+            ["scheme"] + workloads, rows,
+            title=f"Figure 8: performance relative to no-mitigation "
+                  f"(Hcnt={results['hcnt']}, {args.fidelity})"))
     print("engine:", engine.stats.summary())
     print("saved:", save_results(f"fig8_{args.fidelity}", results))
+    if engine.failures:
+        raise SystemExit(1)
 
 
 if __name__ == "__main__":

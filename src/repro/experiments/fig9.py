@@ -17,7 +17,9 @@ from repro.experiments.driver import run_spec
 from repro.experiments.engine import Engine
 from repro.experiments.report import (
     driver_arg_parser,
+    engine_from_args,
     format_table,
+    report_failures,
     save_results,
 )
 from repro.spec import ExperimentSpec, PointSpec, scheme_spec, workload_spec
@@ -53,17 +55,20 @@ def run(fidelity: str = "smoke", jobs: int = 1,
 def main() -> None:
     """Console entry point: print the regenerated figure series."""
     args = driver_arg_parser("fig9").parse_args()
-    engine = Engine(jobs=args.jobs, use_cache=not args.no_cache)
+    engine = engine_from_args(args)
     results = run(args.fidelity, jobs=args.jobs, engine=engine)
-    hcnts = [str(h) for h in HCNT_SWEEP]
-    rows = [[key] + [vals[h] for h in hcnts]
-            for key, vals in results["series"].items()]
-    print(format_table(
-        ["series"] + [f"Hcnt={h}" for h in hcnts], rows,
-        title=f"Figure 9: SHADOW tRCD sensitivity, weighted speedup "
-              f"relative to tRCD19 baseline ({args.fidelity})"))
+    if not report_failures(engine):
+        hcnts = [str(h) for h in HCNT_SWEEP]
+        rows = [[key] + [vals[h] for h in hcnts]
+                for key, vals in results["series"].items()]
+        print(format_table(
+            ["series"] + [f"Hcnt={h}" for h in hcnts], rows,
+            title=f"Figure 9: SHADOW tRCD sensitivity, weighted speedup "
+                  f"relative to tRCD19 baseline ({args.fidelity})"))
     print("engine:", engine.stats.summary())
     print("saved:", save_results(f"fig9_{args.fidelity}", results))
+    if engine.failures:
+        raise SystemExit(1)
 
 
 if __name__ == "__main__":

@@ -23,7 +23,47 @@ def driver_arg_parser(name: str) -> argparse.ArgumentParser:
                              "(default: 1, run inline)")
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore and do not write results/.cache")
+    parser.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="retry each failing job up to N times with "
+                             "exponential backoff (default: 0)")
+    parser.add_argument("--job-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="kill any single job running longer than "
+                             "this (worker pools only; default: none)")
+    parser.add_argument("--keep-going", action="store_true",
+                        help="on a permanently failed job, record it and "
+                             "finish the sweep with partial results "
+                             "instead of aborting (default: fail fast)")
     return parser
+
+
+def engine_from_args(args):
+    """Build the experiment :class:`~repro.experiments.engine.Engine`
+    from a :func:`driver_arg_parser` namespace."""
+    from repro.experiments.engine import Engine
+    return Engine(jobs=args.jobs, use_cache=not args.no_cache,
+                  retries=args.retries, job_timeout=args.job_timeout,
+                  keep_going=args.keep_going)
+
+
+def report_failures(engine) -> bool:
+    """Print the engine's failure report; True if anything failed.
+
+    Drivers call this before rendering their tables: a keep-going run
+    with failures has holes in its series, so the table is skipped and
+    the failures are listed instead (the partial results are still
+    saved, and the failure report rides inside them).
+    """
+    failed = bool(engine.failures)
+    for entry in engine.failure_report():
+        what = "timed out" if entry["timed_out"] else "failed"
+        print(f"FAILED: {entry['scheme']} x {'+'.join(entry['workloads'])} "
+              f"{what} after {entry['attempts']} attempt(s): "
+              f"{entry['exc_type']}: {entry['message']}")
+    if failed:
+        print("partial results only; rerun to resume from the cache "
+              "(completed jobs are cache hits)")
+    return failed
 
 
 def format_table(headers: Sequence[str], rows: List[Sequence],

@@ -23,6 +23,7 @@ import json
 import os
 import pathlib
 import tempfile
+import time
 from typing import Any, Dict, Optional
 
 #: Bump whenever the meaning or format of cached values changes.
@@ -30,6 +31,12 @@ SCHEMA_VERSION = 1
 
 #: Default location, shared by every experiment driver.
 DEFAULT_CACHE_DIR = "results/.cache"
+
+#: Age (seconds) past which an orphaned ``*.tmp`` file -- left behind by
+#: a :meth:`ResultCache.put` that died between ``mkstemp`` and
+#: ``os.replace`` -- is considered stale and safe to delete.  Young tmp
+#: files may belong to a concurrently writing engine and are left alone.
+STALE_TMP_AGE_S = 3600.0
 
 
 def canonical_json(payload: Any) -> str:
@@ -47,11 +54,14 @@ class ResultCache:
     """A keyed store of JSON values addressed by their spec's hash."""
 
     def __init__(self, directory: str = DEFAULT_CACHE_DIR,
-                 schema_version: int = SCHEMA_VERSION):
+                 schema_version: int = SCHEMA_VERSION,
+                 stale_tmp_age_s: float = STALE_TMP_AGE_S):
         self.directory = pathlib.Path(directory)
         self.schema_version = schema_version
+        self.stale_tmp_age_s = stale_tmp_age_s
         self.hits = 0
         self.misses = 0
+        self._tmps_cleaned = False
 
     def path_for(self, spec: Any) -> pathlib.Path:
         """Where the entry for ``spec`` lives (whether or not it exists)."""
@@ -81,6 +91,8 @@ class ResultCache:
     def put(self, spec: Any, value: Dict) -> pathlib.Path:
         """Persist ``value`` for ``spec`` atomically; returns the path."""
         self.directory.mkdir(parents=True, exist_ok=True)
+        if not self._tmps_cleaned:
+            self.clean_stale_tmps()
         path = self.path_for(spec)
         entry = {"schema": self.schema_version,
                  "spec": json.loads(canonical_json(spec)),
@@ -98,16 +110,41 @@ class ResultCache:
             raise
         return path
 
-    def wipe(self) -> int:
-        """Delete every entry; returns how many were removed."""
+    def clean_stale_tmps(self, max_age_s: Optional[float] = None) -> int:
+        """Remove orphaned ``*.tmp`` files left by interrupted ``put``
+        calls; returns how many were deleted.
+
+        Only tmps older than ``max_age_s`` (default: the cache's
+        ``stale_tmp_age_s``) go -- a fresh tmp may be a concurrent
+        writer mid-``os.replace``.
+        """
+        self._tmps_cleaned = True
+        if max_age_s is None:
+            max_age_s = self.stale_tmp_age_s
         removed = 0
         if self.directory.is_dir():
-            for path in self.directory.glob("*.json"):
+            cutoff = time.time() - max_age_s
+            for path in self.directory.glob("*.tmp"):
                 try:
-                    path.unlink()
-                    removed += 1
+                    if path.stat().st_mtime <= cutoff:
+                        path.unlink()
+                        removed += 1
                 except OSError:
                     pass
+        return removed
+
+    def wipe(self) -> int:
+        """Delete every entry (and orphaned tmp file); returns how many
+        were removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for pattern in ("*.json", "*.tmp"):
+                for path in self.directory.glob(pattern):
+                    try:
+                        path.unlink()
+                        removed += 1
+                    except OSError:
+                        pass
         return removed
 
 
@@ -115,6 +152,7 @@ __all__ = [
     "DEFAULT_CACHE_DIR",
     "ResultCache",
     "SCHEMA_VERSION",
+    "STALE_TMP_AGE_S",
     "canonical_json",
     "spec_digest",
 ]

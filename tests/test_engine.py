@@ -1,7 +1,11 @@
 """The parallel experiment engine and its persistent result cache."""
 
 import dataclasses
+import functools
 import json
+import os
+import pathlib
+import time
 
 import pytest
 
@@ -10,10 +14,14 @@ from repro.experiments.configs import FidelityConfig, fidelity_config
 from repro.experiments.engine import (
     BASELINE,
     Engine,
+    EngineStats,
     Job,
+    JobFailedError,
+    JobFailure,
     JobResult,
     SchemeSpec,
     WsRelativePlan,
+    _execute,
     alone_job,
     archsim_scheme_specs,
     rfm_scheme_specs,
@@ -54,6 +62,75 @@ def small_config(**kw):
 @pytest.fixture
 def micro_fig8(monkeypatch):
     monkeypatch.setattr(fig8, "fidelity_config", lambda name: MICRO)
+
+
+# -- picklable fault-injection workers (must be module-level: they cross
+# -- the process-pool boundary by reference) ---------------------------------------
+
+_CANNED = dict(
+    cycles=100, thread_finish_cycles=[100], reads_completed=1,
+    requests_issued=1, refreshes=0, rfms=0, mitigation_name="canned",
+    tck_ns=0.75, acts=1, precharges=1, reads=1, writes=0, row_hits=0,
+    row_misses=1, row_conflicts=0, extra_act_cycles=0, metrics=None)
+
+
+def _canned_worker(job):
+    """Instant deterministic payload; no simulation."""
+    payload = dict(_CANNED)
+    payload["mitigation_name"] = job.scheme.kind
+    return payload
+
+
+def _fail_for(job, target):
+    """Raises deterministically for jobs running the target profile."""
+    if any(p.name == target for p in job.profiles):
+        raise ValueError(f"injected failure for {target}")
+    return _canned_worker(job)
+
+
+def _always_fail(job):
+    raise RuntimeError("permanent fault")
+
+
+def _flaky(job, marker_dir, run):
+    """Fails each job's first attempt, succeeds from the second on.
+
+    The marker directory carries the per-job attempt state across the
+    process boundary.
+    """
+    marker = pathlib.Path(marker_dir) / spec_digest(job.spec)
+    if not marker.exists():
+        marker.write_text("x")
+        raise OSError("transient glitch")
+    return run(job)
+
+
+_flaky_canned = functools.partial(_flaky, run=_canned_worker)
+_flaky_real = functools.partial(_flaky, run=_execute)
+
+
+def _exit_for(job, target, marker_dir):
+    """Simulates an OOM-killed worker (BrokenProcessPool), once."""
+    if any(p.name == target for p in job.profiles):
+        marker = pathlib.Path(marker_dir) / "crashed"
+        if not marker.exists():
+            marker.write_text("x")
+            os._exit(3)
+    return _canned_worker(job)
+
+
+def _exit_always(job, target):
+    """Kills the worker on every attempt for the target profile."""
+    if any(p.name == target for p in job.profiles):
+        os._exit(3)
+    return _canned_worker(job)
+
+
+def _sleep_for(job, target):
+    """Overruns any sane job timeout for the target profile."""
+    if any(p.name == target for p in job.profiles):
+        time.sleep(60)
+    return _canned_worker(job)
 
 
 class TestResultCache:
@@ -289,6 +366,256 @@ class TestFig8OnEngine:
         assert resumed.stats.executed == len(entries) // 2
         assert resumed.stats.cache_hits == \
             resumed.stats.unique - len(entries) // 2
+
+
+class TestCacheTmpCleanup:
+    def test_wipe_removes_orphan_tmps(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put({"x": 1}, {"value": 1})
+        (tmp_path / "orphan123.tmp").write_text("torn write")
+        assert cache.wipe() == 2
+        assert not list(tmp_path.iterdir())
+
+    def test_put_cleans_stale_tmps(self, tmp_path):
+        orphan = tmp_path / "stale456.tmp"
+        orphan.write_text("torn write")
+        cache = ResultCache(str(tmp_path), stale_tmp_age_s=0)
+        cache.put({"x": 1}, {"value": 1})
+        assert not orphan.exists()
+        assert cache.get({"x": 1}) == {"value": 1}
+
+    def test_fresh_tmps_are_left_alone(self, tmp_path):
+        # A young tmp may belong to a concurrent writer mid-replace.
+        fresh = tmp_path / "fresh789.tmp"
+        fresh.write_text("concurrent writer")
+        cache = ResultCache(str(tmp_path))   # default 1h staleness
+        cache.put({"x": 1}, {"value": 1})
+        assert fresh.exists()
+
+    def test_engine_init_cleans_stale_tmps(self, tmp_path):
+        orphan = tmp_path / "stale.tmp"
+        orphan.write_text("torn write")
+        age = time.time() - 7200
+        os.utime(orphan, (age, age))
+        Engine(cache_dir=str(tmp_path))
+        assert not orphan.exists()
+
+
+class TestFaultTolerance:
+    """Worker crashes, retries, timeouts, keep-going and resume."""
+
+    def _jobs(self, n=3):
+        config = small_config()
+        profiles = sorted(SPEC_PROFILES)[:n]
+        return [alone_job(SPEC_PROFILES[p], BASELINE, config)
+                for p in profiles]
+
+    def _target(self):
+        return sorted(SPEC_PROFILES)[0]
+
+    def test_fail_fast_raises_job_failed_error(self, tmp_path):
+        worker = functools.partial(_fail_for, target=self._target())
+        engine = Engine(jobs=2, cache_dir=str(tmp_path), backoff_s=0,
+                        worker=worker)
+        with pytest.raises(JobFailedError) as excinfo:
+            engine.run(self._jobs(3))
+        failure = excinfo.value.failure
+        assert failure.exc_type == "ValueError"
+        assert self._target() in failure.message
+        assert failure.attempts == 1
+        assert "injected failure" in failure.traceback
+
+    def test_keep_going_returns_partial_results(self, tmp_path):
+        worker = functools.partial(_fail_for, target=self._target())
+        engine = Engine(jobs=2, cache_dir=str(tmp_path), backoff_s=0,
+                        keep_going=True, worker=worker)
+        jobs = self._jobs(3)
+        results = engine.run(jobs)
+        assert len(results) == 2
+        assert len(engine.failures) == 1
+        assert engine.stats.executed == 2
+        assert engine.stats.failed == 1
+        (failed_job,) = engine.failures
+        assert failed_job not in results
+        report = engine.failure_report()
+        json.dumps(report)                     # must be JSON-able
+        assert report[0]["workloads"] == [self._target()] \
+            or tuple(report[0]["workloads"]) == (self._target(),)
+
+    def test_completed_jobs_resume_as_cache_hits(self, tmp_path):
+        """The documented resume invariant: a failure mid-sweep keeps
+        every completed result; the rerun only executes the loser."""
+        worker = functools.partial(_fail_for, target=self._target())
+        first = Engine(jobs=2, cache_dir=str(tmp_path), backoff_s=0,
+                       keep_going=True, worker=worker)
+        first.run(self._jobs(3))
+        assert first.stats.executed == 2
+        resumed = Engine(jobs=2, cache_dir=str(tmp_path),
+                         worker=_canned_worker)
+        results = resumed.run(self._jobs(3))
+        assert len(results) == 3
+        assert resumed.stats.cache_hits == 2
+        assert resumed.stats.executed == 1
+
+    def test_retry_exhaustion_surfaces_jobfailure(self, tmp_path):
+        engine = Engine(jobs=2, cache_dir=str(tmp_path), retries=2,
+                        backoff_s=0, keep_going=True, worker=_always_fail)
+        results = engine.run(self._jobs(2))
+        assert results == {}
+        assert engine.stats.failed == 2
+        assert engine.stats.retried == 4       # 2 retries per job
+        for failure in engine.failures.values():
+            assert failure.attempts == 3
+            assert failure.exc_type == "RuntimeError"
+
+    def test_transient_failures_retried_to_success(self, tmp_path):
+        marker = tmp_path / "markers"
+        marker.mkdir()
+        worker = functools.partial(_flaky_canned, marker_dir=str(marker))
+        engine = Engine(jobs=2, cache_dir=str(tmp_path / "cache"),
+                        retries=1, backoff_s=0, worker=worker)
+        results = engine.run(self._jobs(3))
+        assert len(results) == 3
+        assert engine.stats.executed == 3
+        assert engine.stats.retried == 3
+        assert engine.stats.failed == 0
+
+    def test_transient_failures_retried_inline(self, tmp_path):
+        marker = tmp_path / "markers"
+        marker.mkdir()
+        worker = functools.partial(_flaky_canned, marker_dir=str(marker))
+        engine = Engine(jobs=1, cache_dir=str(tmp_path / "cache"),
+                        retries=1, backoff_s=0, worker=worker)
+        results = engine.run(self._jobs(2))
+        assert len(results) == 2
+        assert engine.stats.retried == 2
+
+    def test_broken_pool_rebuilt_and_survivors_resubmitted(self, tmp_path):
+        """A worker death (os._exit, as after an OOM kill) breaks the
+        whole pool; the engine must rebuild it and finish every job."""
+        worker = functools.partial(_exit_for, target=self._target(),
+                                   marker_dir=str(tmp_path))
+        engine = Engine(jobs=2, cache_dir=str(tmp_path / "cache"),
+                        retries=1, backoff_s=0, worker=worker)
+        results = engine.run(self._jobs(3))
+        assert len(results) == 3
+        assert engine.stats.pool_crashes >= 1
+        assert engine.stats.failed == 0
+
+    def test_broken_pool_exhausted_retries_fail(self, tmp_path):
+        """A job that kills its worker on every attempt becomes a
+        BrokenProcessPool JobFailure instead of looping forever."""
+        target = self._target()
+        worker = functools.partial(_exit_always, target=target)
+        engine = Engine(jobs=2, cache_dir=str(tmp_path / "cache"),
+                        retries=1, backoff_s=0, keep_going=True,
+                        worker=worker)
+        jobs = self._jobs(3)
+        results = engine.run(jobs)
+        # The culprit of a pool crash is indistinguishable from its
+        # victims, so an innocent that shares the pool with the target
+        # during both crashes may legitimately burn its own budget as
+        # collateral: assert the jobs partition into results and
+        # crash failures rather than an exact survivor count.
+        assert set(results) | set(engine.failures) == set(jobs)
+        assert len(results) == len(jobs) - len(engine.failures)
+        assert all(f.exc_type == "BrokenProcessPool"
+                   for f in engine.failures.values())
+        target_failure = next(f for f in engine.failures.values()
+                              if target in f.workloads)
+        assert target_failure.attempts == 2
+        assert engine.stats.failed == len(engine.failures)
+        assert engine.stats.pool_crashes >= 2
+
+    def test_job_timeout_kills_overrunning_job(self, tmp_path):
+        worker = functools.partial(_sleep_for, target=self._target())
+        engine = Engine(jobs=2, cache_dir=str(tmp_path), backoff_s=0,
+                        job_timeout=0.5, keep_going=True, worker=worker)
+        results = engine.run(self._jobs(3))
+        assert len(results) == 2
+        (failure,) = engine.failures.values()
+        assert failure.timed_out
+        assert engine.stats.timeouts == 1
+        assert engine.stats.failed == 1
+
+    def test_jobs4_matches_jobs1_under_transient_failures(self, tmp_path):
+        """Retried, out-of-order execution is value-identical to a
+        clean serial run -- determinism survives the failure machinery."""
+        jobs = self._jobs(3)
+        marker = tmp_path / "markers"
+        marker.mkdir()
+        worker = functools.partial(_flaky_real, marker_dir=str(marker))
+        flaky = Engine(jobs=4, cache_dir=str(tmp_path / "a"), retries=1,
+                       backoff_s=0, worker=worker)
+        parallel = flaky.run(jobs)
+        assert flaky.stats.retried == 3
+        serial = Engine(jobs=1, cache_dir=str(tmp_path / "b")).run(jobs)
+        for job in jobs:
+            assert parallel[job].to_dict() == serial[job].to_dict()
+
+    def test_metrics_counters_mirror_stats(self, tmp_path):
+        worker = functools.partial(_fail_for, target=self._target())
+        engine = Engine(jobs=2, cache_dir=str(tmp_path), retries=1,
+                        backoff_s=0, keep_going=True, worker=worker)
+        engine.run(self._jobs(3))
+        snap = engine.metrics.snapshot()
+        assert snap["engine.executed"] == engine.stats.executed == 2
+        assert snap["engine.failures"] == engine.stats.failed == 1
+        assert snap["engine.retries"] == engine.stats.retried == 1
+        rerun = Engine(cache_dir=str(tmp_path), worker=_canned_worker)
+        rerun.run(self._jobs(3))
+        assert rerun.metrics.snapshot()["engine.cache_hits"] == 2
+
+    def test_stats_summary_reports_failures(self):
+        stats = EngineStats(submitted=4, unique=3, cache_hits=1,
+                            executed=1, failed=1, retried=2, timeouts=1,
+                            pool_crashes=1)
+        line = stats.summary()
+        assert "1 failed" in line and "2 retried" in line
+        assert "1 timed out" in line and "1 pool crashes" in line
+        quiet = EngineStats(submitted=1, unique=1, cache_hits=1)
+        assert quiet.summary().endswith("0 failed, 0 retried")
+
+    def test_invalid_fault_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            Engine(retries=-1)
+        with pytest.raises(ValueError):
+            Engine(job_timeout=0)
+        with pytest.raises(ValueError):
+            Engine(backoff_s=-0.1)
+
+    def test_failure_dataclass_roundtrip(self):
+        job = self._jobs(1)[0]
+        try:
+            raise ValueError("boom")
+        except ValueError as exc:
+            failure = JobFailure.from_exception(job, exc, attempts=2,
+                                                duration_s=1.25)
+        payload = failure.to_dict()
+        assert payload["exc_type"] == "ValueError"
+        assert payload["attempts"] == 2
+        assert not payload["timed_out"]
+        json.dumps(payload)
+
+
+class TestEnvFaultInjection:
+    """The REPRO_FAULT_INJECT hook used by the CI fault-injection job."""
+
+    def test_injected_fault_matches_scheme(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "drr")
+        job = alone_job(SPEC_PROFILES[sorted(SPEC_PROFILES)[0]],
+                        scheme_spec("drr"), small_config())
+        engine = Engine(jobs=1, cache_dir=str(tmp_path), keep_going=True)
+        engine.run([job])
+        (failure,) = engine.failures.values()
+        assert "injected worker fault" in failure.message
+
+    def test_no_match_runs_normally(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "no-such-scheme")
+        job = alone_job(SPEC_PROFILES[sorted(SPEC_PROFILES)[0]],
+                        BASELINE, small_config())
+        results = Engine(jobs=1, cache_dir=str(tmp_path)).run([job])
+        assert results[job].requests_issued == 120
 
 
 class TestRunnerBugfixes:
