@@ -58,6 +58,14 @@ _REFRESH_DOMINATED = WorkloadProfile(
     name="bench-refresh", mpki=0.6, row_buffer_locality=0.3,
     write_fraction=0.25, footprint_pages=1024)
 
+#: Many mostly-idle threads with even sparser traffic than
+#: ``bench-refresh``: nearly every simulated cycle is fast-forwarded, so
+#: the event loop's horizon selection (not command issue) is the hot
+#: path being measured.
+_IDLE_HEAVY = WorkloadProfile(
+    name="bench-idle", mpki=0.25, row_buffer_locality=0.4,
+    write_fraction=0.25, footprint_pages=2048)
+
 
 @dataclass(frozen=True)
 class BenchProfile:
@@ -111,6 +119,12 @@ BENCH_PROFILES: Dict[str, BenchProfile] = {
             description="sparse traffic; REF/idle-wake dominates events",
             workload=_REFRESH_DOMINATED, threads=2,
             requests_per_thread=1500, seed=404),
+        BenchProfile(
+            name="idle-heavy",
+            description="many near-idle threads; event-horizon "
+                        "fast-forward dominates",
+            workload=_IDLE_HEAVY, threads=16,
+            requests_per_thread=250, seed=505),
     )
 }
 

@@ -95,10 +95,12 @@ class _BankCtx:
 
     __slots__ = ("addr", "bank", "queue", "rank", "rank_key", "rank_index",
                  "group", "pending", "in_active", "dirty", "cand",
-                 "hit_index", "index_gen", "track")
+                 "hit_index", "index_gen", "track", "chan", "channel")
 
     def __init__(self, addr: BankAddress, bank, rank, rank_key, group):
         self.addr = addr
+        self.channel = addr.channel
+        self.chan = None  # ChannelTiming, attached by the controller
         self.bank = bank
         self.queue: Deque[MemoryRequest] = deque()
         self.rank = rank
@@ -132,6 +134,7 @@ class MemoryController:
         self._timing = device.timing
         self._tCL = device.timing.tCL
         self._tCWL = device.timing.tCWL
+        self._tBL = device.timing.tBL
         # Rank-spacing constants, hoisted for the candidate reduce loop.
         self._tRRD_L = device.timing.tRRD_L
         self._tRRD_S = device.timing.tRRD_S
@@ -144,6 +147,23 @@ class MemoryController:
         #: mitigation actually overrides it (the base hook is identity).
         self._throttles = (type(mitigation).before_activate
                            is not Mitigation.before_activate)
+        #: Skip the per-bank ``on_ref`` fan-out when the mitigation does
+        #: not override the base no-op hook.
+        self._observes_ref = (type(mitigation).on_ref
+                              is not Mitigation.on_ref)
+        #: Static schemes keep the factory PA-to-DA mapping and a
+        #: constant generation, so ``enqueue`` may serve translations
+        #: from a shared per-row cache instead of re-deriving the
+        #: identity layout arithmetic per request.
+        self._static_translate = (
+            type(mitigation).translate is Mitigation.translate
+            and type(mitigation).translation_generation
+            is Mitigation.translation_generation)
+        self._ident_rows: Dict[int, int] = {}
+        #: Pay the per-ACT ``on_activate`` call (and outcome handling)
+        #: only when the mitigation overrides the base no-op.
+        self._acts_hook = (type(mitigation).on_activate
+                           is not Mitigation.on_activate)
 
         scale = mitigation.refresh_interval_scale
         trefi = max(1, int(device.timing.tREFI * scale))
@@ -173,12 +193,45 @@ class MemoryController:
             ctx = _BankCtx(addr, device.banks[addr],
                            device.ranks[rank_key], rank_key,
                            geometry.bank_group_of(addr.bank))
+            ctx.chan = device.channels[addr.channel]
             self._ctx[addr] = ctx
             self._rank_banks.setdefault(rank_key, []).append(ctx)
+        # Flat dense index for the enqueue hot path: avoids building a
+        # BankAddress and hashing it per request.
+        self._nranks = geometry.ranks_per_channel
+        self._nbanks = geometry.banks_per_rank
+        self._ctx_flat: List[Optional[_BankCtx]] = \
+            [None] * (geometry.channels * self._nranks * self._nbanks)
+        for addr, ctx in self._ctx.items():
+            self._ctx_flat[(addr.channel * self._nranks + addr.rank)
+                           * self._nbanks + addr.bank] = ctx
         self._active: Dict[int, List[_BankCtx]] = {
             ch: [] for ch in range(geometry.channels)}
         self._pending_chan: List[int] = [0] * geometry.channels
         self._pending_total = 0
+
+        # Cross-drain candidate memo.  When a drain ends because its
+        # best candidate lies beyond ``until``, the candidate is saved
+        # per channel together with the channel's *refresh horizon* (the
+        # earliest not-yet-due REF tick observed while computing it).
+        # The next drain of the channel may reuse the saved candidate
+        # verbatim iff (a) nothing was enqueued to the channel since
+        # (enqueue clears the slot), (b) no translation generation on
+        # the channel bumped (the listener clears the slot), and (c) its
+        # new ``until`` still precedes the refresh horizon, so no REF
+        # obligation entered the candidate set.  All other scheduler
+        # state a candidate depends on only changes while the channel
+        # itself executes commands, which always ends in a fresh
+        # recompute.  Throttling mitigations are excluded wholesale:
+        # ``before_activate`` is stateful per *evaluation* (BlockHammer
+        # counts throttle probes), so skipping a re-evaluation would
+        # change mitigation-visible counters.
+        self._cand_reuse = not self._throttles
+        self._saved_cand: List = [None] * geometry.channels
+        self._saved_horizon: List[Optional[int]] = \
+            [None] * geometry.channels
+        self._scan_horizon: List[Optional[int]] = \
+            [None] * geometry.channels
 
         mitigation.register_translation_listener(self._translation_changed)
 
@@ -258,18 +311,39 @@ class MemoryController:
         return result
 
     def enqueue(self, request: MemoryRequest) -> None:
-        addr = request.location.bank_address
-        ctx = self._ctx.get(addr)
+        location = request.location
+        channel = location.channel
+        rank = location.rank
+        bank = location.bank
+        ctx = None
+        if 0 <= channel and 0 <= rank < self._nranks \
+                and 0 <= bank < self._nbanks:
+            try:
+                ctx = self._ctx_flat[(channel * self._nranks + rank)
+                                     * self._nbanks + bank]
+            except IndexError:
+                ctx = None
         if ctx is None:
-            raise ValueError(f"bank address {addr} outside geometry")
+            raise ValueError(
+                f"bank address {location.bank_address} outside geometry")
         if not ctx.in_active:
-            self._active[addr.channel].append(ctx)
+            self._active[channel].append(ctx)
             ctx.in_active = True
-        mitigation = self.mitigation
-        generation = mitigation.translation_generation(addr)
-        if generation != ctx.index_gen:
-            self._reindex(ctx, generation)
-        da_row = mitigation.translate(addr, request.location.row)
+        row = location.row
+        if self._static_translate:
+            # Identity mapping, constant generation 0: cache per PA row.
+            generation = 0
+            da_row = self._ident_rows.get(row)
+            if da_row is None:
+                self._ident_rows[row] = da_row = \
+                    self.mitigation.translate(ctx.addr, row)
+        else:
+            mitigation = self.mitigation
+            addr = ctx.addr
+            generation = mitigation.translation_generation(addr)
+            if generation != ctx.index_gen:
+                self._reindex(ctx, generation)
+            da_row = mitigation.translate(addr, row)
         request.da_row = da_row
         request.da_generation = generation
         ctx.queue.append(request)
@@ -279,7 +353,8 @@ class MemoryController:
         rows.append(request)
         ctx.pending += 1
         ctx.dirty = True
-        self._pending_chan[addr.channel] += 1
+        self._saved_cand[channel] = None
+        self._pending_chan[channel] += 1
         self._pending_total += 1
         self.enqueued += 1
 
@@ -301,18 +376,59 @@ class MemoryController:
         """
         completions: List[Tuple[MemoryRequest, int]] = []
         best_candidate = self._best_candidate
-        execute = self._execute
-        while True:
+        # Reuse the candidate memoized by the previous drain of this
+        # channel when it is still valid (see the memo's field comment);
+        # otherwise fall through to a fresh scan.
+        best = self._saved_cand[channel]
+        if best is not None:
+            self._saved_cand[channel] = None
+            horizon = self._saved_horizon[channel]
+            if horizon is not None and until >= horizon:
+                best = None
+        if best is None:
             best = best_candidate(channel, until)
+        while True:
             if best is None:
-                return completions, self._idle_wake(channel, until)
+                # A None scan means no due REF either, so the channel's
+                # next obligation is exactly the refresh horizon the
+                # scan just recorded (``_idle_wake`` recomputes the
+                # same value; kept as the documented spec).
+                return completions, self._scan_horizon[channel]
             earliest = best[0]
             if earliest > until:
+                if self._cand_reuse:
+                    self._saved_cand[channel] = best
+                    self._saved_horizon[channel] = \
+                        self._scan_horizon[channel]
                 return completions, earliest
-            done = execute(best)
-            if done is not None:
-                completions.append(done)
+            # _execute inlined: dispatch once per issued command.
+            cycle, _prio, _age, op, target, payload = best
+            if op == _OP_PRE:
+                chan = target.chan
+                if cycle < chan._cmd_free_at or \
+                        cycle < chan._blocked_until:
+                    raise RuntimeError("DRAM protocol violation: "
+                                       "command bus busy at issue time")
+                chan._cmd_free_at = cycle + 1
+                chan.commands_issued += 1
+                target.bank.issue_pre(cycle)
+                target.dirty = True
+                if payload == "conflict":
+                    target.bank.stats.row_conflicts += 1
+                if self._tbuf is not None:
+                    self._tbuf.append(("X", target.channel, target.track,
+                                       "PRE", "cmd", cycle, self._dur_pre,
+                                       None))
+            elif op == _OP_COL:
+                completions.append(self._do_column(cycle, target, payload))
                 self.retired += 1
+            elif op == _OP_ACT:
+                self._do_act(cycle, target, payload)
+            elif op == _OP_REF:
+                self._do_ref(cycle, target)
+            else:
+                self._do_rfm(cycle, target)
+            best = best_candidate(channel, until)
 
     # -- candidate generation ---------------------------------------------------------
 
@@ -326,18 +442,43 @@ class MemoryController:
         active-bank insertion order) matches the original full-recompute
         scheduler exactly so tie-breaks are preserved.
         """
-        chan = self._chans[channel]
-        mitigation = self.mitigation
+        if not self._pending_chan[channel]:
+            raa = self.raa
+            if raa is None or not raa.due_count:
+                # Idle channel: demand candidates need a pending request
+                # and RFM needs a due counter, so only REF work remains.
+                # If no tracker is due either, the scan result is known
+                # (None) and only the horizon needs recording -- this is
+                # the tail scan of every drain that empties a channel.
+                horizon = None
+                for _rank_index, tracker in self._chan_refresh[channel]:
+                    due = tracker.next_due
+                    if due <= until:
+                        break
+                    if horizon is None or due < horizon:
+                        horizon = due
+                else:
+                    self._scan_horizon[channel] = horizon
+                    return None
+
+        chan = None
         best_e = best_p = best_a = -1
         best_op = best_target = best_payload = None
         have_best = False
 
         refresh_draining_ranks = None
+        horizon = None
         for rank_index, tracker in self._chan_refresh[channel]:
-            if tracker.next_due > until:
+            due = tracker.next_due
+            if due > until:
+                # Earliest not-yet-due REF tick: the validity horizon
+                # for reusing this scan's winner across drains.
+                if horizon is None or due < horizon:
+                    horizon = due
                 continue
             if refresh_draining_ranks is None:
                 refresh_draining_ranks = set()
+                chan = self._chans[channel]
             refresh_draining_ranks.add(rank_index)
             cand = self._refresh_candidate(channel, rank_index, tracker,
                                            chan)
@@ -348,10 +489,13 @@ class MemoryController:
                 have_best = True
                 best_e, best_p, best_a = e, p, a
                 best_op, best_target, best_payload = cand[3], cand[4], cand[5]
+        self._scan_horizon[channel] = horizon
 
         rfm_banks = None
         raa = self.raa
         if raa is not None and raa.due_count:
+            if chan is None:
+                chan = self._chans[channel]
             for addr in raa.banks_needing_rfm():
                 if addr.channel != channel:
                     continue
@@ -370,84 +514,95 @@ class MemoryController:
                     best_op, best_target, best_payload = \
                         cand[3], cand[4], cand[5]
 
-        cmd_floor, data_floor = chan.floors()
-        throttles = self._throttles
-        tRRD_L, tRRD_S = self._tRRD_L, self._tRRD_S
-        tCCD_L, tCCD_S = self._tCCD_L, self._tCCD_S
-        tFAW = self._tFAW
         active = self._active[channel]
-        removals = False
-        count = self._count
-        # evals/hits are derived after the loop: evals = len(active) -
-        # skipped, hits = evals - recomputes the loop triggered.  The
-        # skip paths are rare, so the hot per-candidate path carries no
-        # counting instructions at all.
-        skipped = 0
-        pre_recomputes = self.cand_recomputes if count else 0
-        for ctx in active:
-            if not ctx.pending:
-                removals = True
-                ctx.in_active = False
-                skipped += 1
-                continue
-            if refresh_draining_ranks is not None and \
-                    ctx.rank_index in refresh_draining_ranks:
-                skipped += 1
-                continue
-            if rfm_banks is not None and ctx.addr in rfm_banks:
-                skipped += 1
-                continue
-            cand = self._recompute(ctx) if ctx.dirty else ctx.cand
-            e, prio, age, op, payload, lead = cand
-            # The rank spacing checks below are RankTiming.earliest_act
-            # / .earliest_column inlined -- this loop runs once per
-            # active bank per scheduling decision.
-            rank = ctx.rank
-            group = ctx.group
-            if op == _OP_COL:
-                spacing = tCCD_L if group == rank._last_col_group else tCCD_S
-                floor = rank._last_col + spacing
-                if e < floor:
-                    e = floor
-                if e < cmd_floor:
-                    e = cmd_floor
-                data_start = data_floor - lead
-                if e < data_start:
-                    e = data_start
-            elif op == _OP_ACT:
-                spacing = tRRD_L if group == rank._last_act_group else tRRD_S
-                floor = rank._last_act + spacing
-                if e < floor:
-                    e = floor
-                floor = rank._group_last_act.get(group, _FAR_PAST) + tRRD_L
-                if e < floor:
-                    e = floor
-                act_times = rank._act_times
-                if len(act_times) == 4:
-                    floor = act_times[0] + tFAW
+        if active:
+            # Per-candidate constants, hoisted only when there is a
+            # candidate loop to run (idle scans skip all of this).
+            if chan is None:
+                chan = self._chans[channel]
+            cmd_floor, data_floor = chan.floors()
+            throttles = self._throttles
+            mitigation = self.mitigation
+            tRRD_L, tRRD_S = self._tRRD_L, self._tRRD_S
+            tCCD_L, tCCD_S = self._tCCD_L, self._tCCD_S
+            tFAW = self._tFAW
+            removals = False
+            count = self._count
+            # evals/hits are derived after the loop: evals = len(active)
+            # - skipped, hits = evals - recomputes the loop triggered.
+            # The skip paths are rare, so the hot per-candidate path
+            # carries no counting instructions at all.
+            skipped = 0
+            pre_recomputes = self.cand_recomputes if count else 0
+            for ctx in active:
+                if not ctx.pending:
+                    removals = True
+                    ctx.in_active = False
+                    skipped += 1
+                    continue
+                if refresh_draining_ranks is not None and \
+                        ctx.rank_index in refresh_draining_ranks:
+                    skipped += 1
+                    continue
+                if rfm_banks is not None and ctx.addr in rfm_banks:
+                    skipped += 1
+                    continue
+                cand = self._recompute(ctx) if ctx.dirty else ctx.cand
+                e, prio, age, op, payload, lead = cand
+                # The rank spacing checks below are
+                # RankTiming.earliest_act / .earliest_column inlined --
+                # this loop runs once per active bank per scheduling
+                # decision.
+                rank = ctx.rank
+                group = ctx.group
+                if op == _OP_COL:
+                    spacing = tCCD_L if group == rank._last_col_group \
+                        else tCCD_S
+                    floor = rank._last_col + spacing
                     if e < floor:
                         e = floor
-                if e < cmd_floor:
-                    e = cmd_floor
-                if throttles:
-                    e = mitigation.before_activate(
-                        ctx.addr, payload.location.row, e)
-            else:  # _OP_PRE (row conflict)
-                if e < cmd_floor:
-                    e = cmd_floor
-            if (not have_best) or e < best_e or (
-                    e == best_e and (prio < best_p or
-                                     (prio == best_p and age < best_a))):
-                have_best = True
-                best_e, best_p, best_a = e, prio, age
-                best_op, best_target, best_payload = op, ctx, payload
-        if count:
-            evals = len(active) - skipped
-            self.cand_evals += evals
-            self.cand_hits += \
-                evals - (self.cand_recomputes - pre_recomputes)
-        if removals:
-            self._active[channel] = [c for c in active if c.pending]
+                    if e < cmd_floor:
+                        e = cmd_floor
+                    data_start = data_floor - lead
+                    if e < data_start:
+                        e = data_start
+                elif op == _OP_ACT:
+                    spacing = tRRD_L if group == rank._last_act_group \
+                        else tRRD_S
+                    floor = rank._last_act + spacing
+                    if e < floor:
+                        e = floor
+                    floor = rank._group_last_act.get(group, _FAR_PAST) \
+                        + tRRD_L
+                    if e < floor:
+                        e = floor
+                    act_times = rank._act_times
+                    if len(act_times) == 4:
+                        floor = act_times[0] + tFAW
+                        if e < floor:
+                            e = floor
+                    if e < cmd_floor:
+                        e = cmd_floor
+                    if throttles:
+                        e = mitigation.before_activate(
+                            ctx.addr, payload.location.row, e)
+                else:  # _OP_PRE (row conflict)
+                    if e < cmd_floor:
+                        e = cmd_floor
+                if (not have_best) or e < best_e or (
+                        e == best_e and (prio < best_p or
+                                         (prio == best_p
+                                          and age < best_a))):
+                    have_best = True
+                    best_e, best_p, best_a = e, prio, age
+                    best_op, best_target, best_payload = op, ctx, payload
+            if count:
+                evals = len(active) - skipped
+                self.cand_evals += evals
+                self.cand_hits += \
+                    evals - (self.cand_recomputes - pre_recomputes)
+            if removals:
+                self._active[channel] = [c for c in active if c.pending]
         if not have_best:
             return None
         return (best_e, best_p, best_a, best_op, best_target, best_payload)
@@ -461,9 +616,10 @@ class MemoryController:
         open_row = bank.open_row
         busy = bank.busy_until
         if open_row is not None:
-            generation = self.mitigation.translation_generation(ctx.addr)
-            if generation != ctx.index_gen:
-                self._reindex(ctx, generation)
+            if not self._static_translate:
+                generation = self.mitigation.translation_generation(ctx.addr)
+                if generation != ctx.index_gen:
+                    self._reindex(ctx, generation)
             rows = ctx.hit_index.get(open_row)
             if rows:
                 hit = rows[0]
@@ -527,6 +683,7 @@ class MemoryController:
         ctx = self._ctx.get(addr)
         if ctx is not None:
             ctx.dirty = True
+            self._saved_cand[addr.channel] = None
 
     def _mitigation_event(self, kind: str, addr: BankAddress, cycle: int,
                           payload: Dict) -> None:
@@ -556,13 +713,18 @@ class MemoryController:
         banks = self._rank_banks[(channel, rank_index)]
         best = None
         ref_earliest = tracker.next_due
+        # chan.earliest_command(e) == max(e, cmd_floor), hoisted.
+        cmd_floor = chan._cmd_free_at
+        if cmd_floor < chan._blocked_until:
+            cmd_floor = chan._blocked_until
         for ctx in banks:
             bank = ctx.bank
             if bank.open_row is not None:
                 e = bank.next_pre
                 if e < bank.busy_until:
                     e = bank.busy_until
-                e = chan.earliest_command(e)
+                if e < cmd_floor:
+                    e = cmd_floor
                 if best is None or e < best[0]:
                     best = (e, _PRIO_REFRESH, 0, _OP_PRE, ctx, None)
             else:
@@ -573,7 +735,7 @@ class MemoryController:
                     ref_earliest = e
         if best is not None:
             return best
-        earliest = chan.earliest_command(ref_earliest)
+        earliest = ref_earliest if ref_earliest > cmd_floor else cmd_floor
         return (earliest, _PRIO_REFRESH, 0, _OP_REF,
                 (channel, rank_index, tracker, banks, chan), None)
 
@@ -588,43 +750,32 @@ class MemoryController:
         return (earliest, _PRIO_RFM, 0, _OP_RFM, ctx, None)
 
     # -- candidate execution ------------------------------------------------------------
-
-    def _execute(self, cand) -> Optional[Tuple[MemoryRequest, int]]:
-        cycle, _prio, _age, op, target, payload = cand
-        if op == _OP_PRE:
-            ctx = target
-            self._chans[ctx.addr.channel].record_command(cycle)
-            ctx.bank.issue_pre(cycle)
-            ctx.dirty = True
-            if payload == "conflict":
-                ctx.bank.stats.row_conflicts += 1
-            if self._tbuf is not None:
-                self._tbuf.append(("X", ctx.addr.channel, ctx.track,
-                                   "PRE", "cmd", cycle, self._dur_pre,
-                                   None))
-            return None
-        if op == _OP_ACT:
-            return self._do_act(cycle, target, payload)
-        if op == _OP_COL:
-            return self._do_column(cycle, target, payload)
-        if op == _OP_REF:
-            return self._do_ref(cycle, target)
-        if op == _OP_RFM:
-            return self._do_rfm(cycle, target)
-        raise AssertionError(f"unknown candidate op {op}")
+    # Dispatch itself lives inline in ``drain`` (one branch per issued
+    # command); the _do_* methods below are the per-op bodies.
 
     def _do_act(self, cycle: int, ctx: _BankCtx,
                 request: MemoryRequest) -> None:
         addr = ctx.addr
         bank = ctx.bank
-        chan = self._chans[addr.channel]
-        mitigation = self.mitigation
-        generation = mitigation.translation_generation(addr)
-        if request.da_generation != generation or request.da_row is None:
-            request.da_row = mitigation.translate(addr, request.location.row)
-            request.da_generation = generation
         da_row = request.da_row
-        chan.record_command(cycle)
+        if self._static_translate:
+            if da_row is None:
+                request.da_row = da_row = \
+                    self.mitigation.translate(addr, request.location.row)
+        else:
+            mitigation = self.mitigation
+            generation = mitigation.translation_generation(addr)
+            if request.da_generation != generation or da_row is None:
+                request.da_row = da_row = \
+                    mitigation.translate(addr, request.location.row)
+                request.da_generation = generation
+        chan = ctx.chan
+        # ChannelTiming.record_command inlined (hot per-ACT path).
+        if cycle < chan._cmd_free_at or cycle < chan._blocked_until:
+            raise RuntimeError(
+                "DRAM protocol violation: command bus busy at issue time")
+        chan._cmd_free_at = cycle + 1
+        chan.commands_issued += 1
         ctx.rank.record_act(cycle, ctx.group)
         bank.issue_act(da_row, cycle, extra_latency=self._act_extra)
         bank.stats.row_misses += 1
@@ -632,52 +783,73 @@ class MemoryController:
             if self.raa.on_activate(addr):
                 self.raa_crossings += 1
                 if self._tbuf is not None:
-                    self._tbuf.append(("i", addr.channel, ctx.track,
+                    self._tbuf.append(("i", ctx.channel, ctx.track,
                                        "raa-cross", "rfm", cycle, None,
                                        None))
         if self._tbuf is not None:
-            self._tbuf.append(("X", addr.channel, ctx.track, "ACT",
+            self._tbuf.append(("X", ctx.channel, ctx.track, "ACT",
                                "cmd", cycle, self._dur_act,
                                {"row": da_row}))
         if self.observer is not None:
             self.observer.on_activate(addr, da_row, cycle)
-        outcome = mitigation.on_activate(addr, request.location.row,
-                                         da_row, cycle)
-        if outcome is not None:
-            if outcome.trr_rows:
-                bank.add_act_penalty(self._timing.tRC * len(outcome.trr_rows))
-                if self.observer is not None:
-                    for row in outcome.trr_rows:
+        if self._acts_hook:
+            outcome = self.mitigation.on_activate(
+                addr, request.location.row, da_row, cycle)
+            if outcome is not None:
+                if outcome.trr_rows:
+                    bank.add_act_penalty(
+                        self._timing.tRC * len(outcome.trr_rows))
+                    if self.observer is not None:
+                        for row in outcome.trr_rows:
+                            self.observer.on_row_refresh(addr, row, cycle)
+                if outcome.channel_block_cycles:
+                    ctx.chan.block(cycle + 1, outcome.channel_block_cycles)
+                if outcome.restored_rows and self.observer is not None:
+                    for row in outcome.restored_rows:
                         self.observer.on_row_refresh(addr, row, cycle)
-            if outcome.channel_block_cycles:
-                chan.block(cycle + 1, outcome.channel_block_cycles)
-            if outcome.restored_rows and self.observer is not None:
-                for row in outcome.restored_rows:
-                    self.observer.on_row_refresh(addr, row, cycle)
         ctx.dirty = True
         return None
 
     def _do_column(self, cycle: int, ctx: _BankCtx,
                    request: MemoryRequest) -> Tuple[MemoryRequest, int]:
         bank = ctx.bank
-        addr = ctx.addr
-        chan = self._chans[addr.channel]
-        timing = self._timing
-        chan.record_command(cycle)
-        ctx.rank.record_column(cycle, ctx.group)
-        if request.is_write:
+        chan = ctx.chan
+        is_write = request.is_write
+        # ChannelTiming.record_command / record_data and
+        # RankTiming.record_column inlined (hot per-column path).
+        if cycle < chan._cmd_free_at or cycle < chan._blocked_until:
+            raise RuntimeError(
+                "DRAM protocol violation: command bus busy at issue time")
+        chan._cmd_free_at = cycle + 1
+        chan.commands_issued += 1
+        rank = ctx.rank
+        group = ctx.group
+        spacing = self._tCCD_L if group == rank._last_col_group \
+            else self._tCCD_S
+        if cycle < rank._last_col + spacing:
+            raise RuntimeError(
+                "DRAM protocol violation: column command before tCCD allows")
+        rank._last_col = cycle
+        rank._last_col_group = group
+        tBL = self._tBL
+        if is_write:
             done = bank.issue_wr(cycle)
-            chan.record_data(cycle + timing.tCWL, timing.tBL)
+            start = cycle + self._tCWL
         else:
             done = bank.issue_rd(cycle)
-            chan.record_data(cycle + timing.tCL, timing.tBL)
+            start = cycle + self._tCL
+        if start < chan._data_free_at or start < chan._blocked_until:
+            raise RuntimeError(
+                "DRAM protocol violation: data bus busy at burst start")
+        chan._data_free_at = start + tBL
+        chan.data_busy_cycles += tBL
         bank.stats.row_hits += 1  # column commands served from the open row
         if self._tbuf is not None:
-            if request.is_write:
-                self._tbuf.append(("X", addr.channel, ctx.track, "WR",
+            if is_write:
+                self._tbuf.append(("X", ctx.channel, ctx.track, "WR",
                                    "cmd", cycle, self._dur_wr, None))
             else:
-                self._tbuf.append(("X", addr.channel, ctx.track, "RD",
+                self._tbuf.append(("X", ctx.channel, ctx.track, "RD",
                                    "cmd", cycle, self._dur_rd, None))
         if self._count:
             self._lat_hist.observe(done - request.arrival)
@@ -698,7 +870,7 @@ class MemoryController:
         request.completed = done
         ctx.pending -= 1
         ctx.dirty = True
-        self._pending_chan[addr.channel] -= 1
+        self._pending_chan[ctx.channel] -= 1
         self._pending_total -= 1
         return request, done
 
@@ -710,15 +882,28 @@ class MemoryController:
             self._tbuf.append(("X", channel, self._rank_tracks[
                 (channel, rank_index)], "REF", "cmd", cycle,
                 self._dur_ref, {"lo": lo, "hi": hi}))
+        # The per-hook fan-outs run as separate per-bank loops (bank
+        # order preserved within each hook) so a REF with no RAA
+        # counters, a non-observing mitigation, or no observer pays
+        # nothing per bank for the absent hook.
         for ctx in banks:
             ctx.bank.issue_ref(cycle)
             ctx.dirty = True
-            if self.raa is not None:
-                self.raa.on_ref(ctx.addr)
-            self.mitigation.on_ref(ctx.addr, lo, hi, cycle)
-            if self.observer is not None:
+        raa = self.raa
+        if raa is not None:
+            on_ref = raa.on_ref
+            for ctx in banks:
+                on_ref(ctx.addr)
+        if self._observes_ref:
+            on_ref = self.mitigation.on_ref
+            for ctx in banks:
+                on_ref(ctx.addr, lo, hi, cycle)
+        observer = self.observer
+        if observer is not None:
+            on_range = observer.on_refresh_range
+            for ctx in banks:
                 # Observers wrap [lo, hi) modulo the bank's row count.
-                self.observer.on_refresh_range(ctx.addr, lo, hi, cycle)
+                on_range(ctx.addr, lo, hi, cycle)
         return None
 
     def _do_rfm(self, cycle: int, ctx: _BankCtx) -> None:

@@ -106,9 +106,12 @@ class Bank:
         real activation: the row buffer is usable (RD/WR) only after
         tRCD + extra, and restoration (tRAS) also starts ``extra`` late.
         """
-        self._require(cycle >= self.earliest_issue(CommandType.ACT, cycle),
-                      "ACT issued before its timing constraints allow")
-        self._require(self.open_row is None, "ACT issued to an open bank")
+        # Validation inlined (== earliest_issue(ACT) <= cycle): these
+        # guards run once per DRAM command and are the issue-path floor.
+        if cycle < self.next_act or cycle < self.busy_until:
+            self._fail("ACT issued before its timing constraints allow")
+        if self.open_row is not None:
+            self._fail("ACT issued to an open bank")
         t = self._t
         self.open_row = row
         self.next_rd = cycle + t.tRCD + extra_latency
@@ -119,58 +122,75 @@ class Bank:
         self.stats.extra_act_cycles += extra_latency
 
     def issue_pre(self, cycle: int) -> None:
-        self._require(cycle >= self.earliest_issue(CommandType.PRE, cycle),
-                      "PRE issued before its timing constraints allow")
-        t = self._t
+        if cycle < self.next_pre or cycle < self.busy_until:
+            self._fail("PRE issued before its timing constraints allow")
         self.open_row = None
-        self.next_act = max(self.next_act, cycle + t.tRP)
+        floor = cycle + self._t.tRP
+        if floor > self.next_act:
+            self.next_act = floor
         self.stats.precharges += 1
 
     def issue_rd(self, cycle: int) -> int:
         """Issue RD; returns the cycle the data burst completes."""
-        self._require(self.open_row is not None, "RD issued to a closed bank")
-        self._require(cycle >= self.earliest_issue(CommandType.RD, cycle),
-                      "RD issued before its timing constraints allow")
+        if self.open_row is None:
+            self._fail("RD issued to a closed bank")
+        if cycle < self.next_rd or cycle < self.busy_until:
+            self._fail("RD issued before its timing constraints allow")
         t = self._t
-        self.next_rd = cycle + t.tCCD_L
-        self.next_wr = max(self.next_wr, cycle + t.tCCD_L)
-        self.next_pre = max(self.next_pre, cycle + t.tRTP)
+        ccd = cycle + t.tCCD_L
+        self.next_rd = ccd
+        if ccd > self.next_wr:
+            self.next_wr = ccd
+        rtp = cycle + t.tRTP
+        if rtp > self.next_pre:
+            self.next_pre = rtp
         self.stats.reads += 1
         return cycle + self._rd_done
 
     def issue_wr(self, cycle: int) -> int:
         """Issue WR; returns the cycle the write burst completes."""
-        self._require(self.open_row is not None, "WR issued to a closed bank")
-        self._require(cycle >= self.earliest_issue(CommandType.WR, cycle),
-                      "WR issued before its timing constraints allow")
+        if self.open_row is None:
+            self._fail("WR issued to a closed bank")
+        if cycle < self.next_wr or cycle < self.busy_until:
+            self._fail("WR issued before its timing constraints allow")
         t = self._t
         self.next_wr = cycle + t.tCCD_L
-        self.next_rd = max(self.next_rd, cycle + self._wr_to_rd)
-        self.next_pre = max(self.next_pre, cycle + self._wr_to_pre)
+        rd = cycle + self._wr_to_rd
+        if rd > self.next_rd:
+            self.next_rd = rd
+        pre = cycle + self._wr_to_pre
+        if pre > self.next_pre:
+            self.next_pre = pre
         self.stats.writes += 1
         return cycle + self._wr_done
 
     def issue_ref(self, cycle: int) -> int:
         """All-bank refresh touching this bank; returns completion cycle."""
-        self._require(self.open_row is None, "REF requires a precharged bank")
-        self._require(cycle >= self.earliest_issue(CommandType.REF, cycle),
-                      "REF issued before its timing constraints allow")
+        if self.open_row is not None:
+            self._fail("REF requires a precharged bank")
+        if cycle < self.next_act or cycle < self.busy_until:
+            self._fail("REF issued before its timing constraints allow")
         done = cycle + self._t.tRFC
-        self.busy_until = max(self.busy_until, done)
-        self.next_act = max(self.next_act, done)
+        if done > self.busy_until:
+            self.busy_until = done
+        if done > self.next_act:
+            self.next_act = done
         self.stats.refreshes += 1
         return done
 
     def issue_rfm(self, cycle: int, duration: Optional[int] = None) -> int:
         """Per-bank RFM; blocks the bank for ``duration`` (default tRFM)."""
-        self._require(self.open_row is None, "RFM requires a precharged bank")
-        self._require(cycle >= self.earliest_issue(CommandType.RFM, cycle),
-                      "RFM issued before its timing constraints allow")
+        if self.open_row is not None:
+            self._fail("RFM requires a precharged bank")
+        if cycle < self.next_act or cycle < self.busy_until:
+            self._fail("RFM issued before its timing constraints allow")
         if duration is None:
             duration = self._t.tRFM
         done = cycle + duration
-        self.busy_until = max(self.busy_until, done)
-        self.next_act = max(self.next_act, done)
+        if done > self.busy_until:
+            self.busy_until = done
+        if done > self.next_act:
+            self.next_act = done
         self.stats.rfms += 1
         return done
 
@@ -194,3 +214,7 @@ class Bank:
     def _require(condition: bool, message: str) -> None:
         if not condition:
             raise RuntimeError(f"DRAM protocol violation: {message}")
+
+    @staticmethod
+    def _fail(message: str) -> None:
+        raise RuntimeError(f"DRAM protocol violation: {message}")

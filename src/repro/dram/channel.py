@@ -39,7 +39,8 @@ class ChannelTiming:
         return max(cycle, self._cmd_free_at, self._blocked_until)
 
     def record_command(self, cycle: int) -> None:
-        if cycle < self.earliest_command(cycle):
+        # == cycle < earliest_command(cycle), without the call/max.
+        if cycle < self._cmd_free_at or cycle < self._blocked_until:
             raise RuntimeError(
                 "DRAM protocol violation: command bus busy at issue time"
             )
@@ -53,7 +54,7 @@ class ChannelTiming:
         return max(start, self._data_free_at, self._blocked_until)
 
     def record_data(self, start: int, burst: int) -> None:
-        if start < self.earliest_data(start):
+        if start < self._data_free_at or start < self._blocked_until:
             raise RuntimeError(
                 "DRAM protocol violation: data bus busy at burst start"
             )

@@ -50,14 +50,23 @@ class RankTiming:
         return earliest
 
     def record_act(self, cycle: int, group: int = 0) -> None:
-        if cycle < self.earliest_act(cycle, group):
+        # Validation == cycle >= earliest_act(cycle, group), inlined:
+        # this runs once per ACT issued.
+        t = self._t
+        spacing = t.tRRD_L if group == self._last_act_group else t.tRRD_S
+        act_times = self._act_times
+        if (cycle < self._last_act + spacing
+                or cycle < self._group_last_act.get(group, _FAR_PAST)
+                + t.tRRD_L
+                or (len(act_times) == 4
+                    and cycle < act_times[0] + t.tFAW)):
             raise RuntimeError(
                 "DRAM protocol violation: rank ACT before tRRD/tFAW allow"
             )
         self._last_act = cycle
         self._last_act_group = group
         self._group_last_act[group] = cycle
-        self._act_times.append(cycle)
+        act_times.append(cycle)
 
     def faw_occupancy(self, cycle: int) -> int:
         """ACTs currently inside this rank's tFAW window (0..4).
@@ -78,7 +87,9 @@ class RankTiming:
         return max(cycle, self._last_col + spacing)
 
     def record_column(self, cycle: int, group: int = 0) -> None:
-        if cycle < self.earliest_column(cycle, group):
+        t = self._t
+        spacing = t.tCCD_L if group == self._last_col_group else t.tCCD_S
+        if cycle < self._last_col + spacing:
             raise RuntimeError(
                 "DRAM protocol violation: column command before tCCD allows"
             )

@@ -11,11 +11,19 @@ This is the McSimA+-style application-level abstraction: detailed
 enough that memory latency and bandwidth changes move end-to-end
 runtime the way they do on real cores, cheap enough to simulate many
 threads.
+
+Feeding: a thread accepts either a lazy ``trace`` iterator of
+``(gap_ns, location, is_write)`` tuples (the historical interface) or a
+pregenerated ``ops`` list of ``(gap_cycles, location, is_write)``
+tuples (see :meth:`~repro.workloads.trace.TraceGenerator.materialize`).
+The ops path is the simulator's hot configuration: advancing the trace
+is an index bump instead of a generator resume, and the ns->cycle gap
+conversion happened up front.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from repro.controller.address import MemoryLocation
 from repro.controller.request import MemoryRequest
@@ -24,15 +32,28 @@ from repro.controller.request import MemoryRequest
 class ThreadState:
     """Execution state of one hardware thread."""
 
+    __slots__ = ("thread_id", "budget", "issued", "completed_reads",
+                 "_tck_ns", "mlp", "outstanding", "next_ready",
+                 "finish_cycle", "_pending", "_trace", "_ops", "_pos")
+
     def __init__(self, thread_id: int,
-                 trace: Iterator[Tuple[float, MemoryLocation, bool]],
-                 request_budget: int, tck_ns: float, mlp: int = 8):
+                 trace: Optional[Iterator[
+                     Tuple[float, MemoryLocation, bool]]] = None,
+                 request_budget: int = 1, tck_ns: float = 1.0, mlp: int = 8,
+                 ops: Optional[List[
+                     Tuple[int, MemoryLocation, bool]]] = None):
         if request_budget <= 0:
             raise ValueError("request_budget must be positive")
         if mlp <= 0:
             raise ValueError("mlp must be positive")
+        if (trace is None) == (ops is None):
+            raise ValueError("provide exactly one of trace= or ops=")
+        if ops is not None and len(ops) < request_budget:
+            raise ValueError("ops must cover the full request budget")
         self.thread_id = thread_id
         self._trace = trace
+        self._ops = ops
+        self._pos = 0
         self.budget = request_budget
         self.issued = 0
         self.completed_reads = 0
@@ -50,6 +71,13 @@ class ThreadState:
         if self.issued >= self.budget:
             self._pending = None
             return
+        ops = self._ops
+        if ops is not None:
+            pending = ops[self._pos]
+            self._pos += 1
+            self._pending = pending
+            self.next_ready = after_cycle + pending[0]
+            return
         gap_ns, location, is_write = next(self._trace)
         gap_cycles = max(1, int(gap_ns / self._tck_ns))
         self._pending = (gap_cycles, location, is_write)
@@ -64,32 +92,35 @@ class ThreadState:
 
     @property
     def finished(self) -> bool:
-        return self.drained and self.outstanding == 0
+        return self._pending is None and self.outstanding == 0
 
     def can_issue(self, cycle: int) -> bool:
-        if self._pending is None or cycle < self.next_ready:
+        pending = self._pending
+        if pending is None or cycle < self.next_ready:
             return False
-        _gap, _loc, is_write = self._pending
-        return is_write or self.outstanding < self.mlp
+        return pending[2] or self.outstanding < self.mlp
 
     def stalled_on_mlp(self, cycle: int) -> bool:
         """Ready to run but blocked by the load window."""
-        if self._pending is None or cycle < self.next_ready:
+        pending = self._pending
+        if pending is None or cycle < self.next_ready:
             return False
-        return not self._pending[2] and self.outstanding >= self.mlp
+        return not pending[2] and self.outstanding >= self.mlp
 
     def issue(self, cycle: int) -> MemoryRequest:
         """Materialize the pending request at ``cycle``."""
-        if not self.can_issue(cycle):
+        pending = self._pending
+        if pending is None or cycle < self.next_ready or \
+                not (pending[2] or self.outstanding < self.mlp):
             raise RuntimeError("thread cannot issue at this cycle")
-        _gap, location, is_write = self._pending
+        _gap, location, is_write = pending
         request = MemoryRequest(location=location, is_write=is_write,
                                 thread_id=self.thread_id, arrival=cycle)
         self.issued += 1
         if not is_write:
             self.outstanding += 1
         self._load_next(cycle)
-        if self.drained and self.outstanding == 0:
+        if self._pending is None and self.outstanding == 0:
             self.finish_cycle = cycle
         return request
 
@@ -101,5 +132,5 @@ class ThreadState:
             raise RuntimeError("completion without an outstanding load")
         self.outstanding -= 1
         self.completed_reads += 1
-        if self.drained and self.outstanding == 0:
+        if self._pending is None and self.outstanding == 0:
             self.finish_cycle = max(self.finish_cycle or 0, cycle)

@@ -2,14 +2,33 @@
 
 Threads inject requests (subject to their gaps and MLP windows); each
 channel of the memory controller drains at its own pace; completions
-wake stalled threads.  Three event kinds drive the heap:
-
-* ``thread`` -- a thread may have become ready to issue;
-* ``channel`` -- a channel should try issuing commands;
-* (completions are processed inline when a channel drains.)
+wake stalled threads.
 
 The loop is deterministic: equal-time events process in insertion
-order.
+order.  Two loop implementations share that contract:
+
+* :meth:`System.run` -- the production *event-horizon* loop.  Thread
+  readiness and load completions live in a heap; each channel's single
+  live wake lives in a per-channel array slot (re-arming overwrites the
+  slot, so superseded wakes never exist as heap garbage).  Every
+  iteration jumps the clock straight to the earliest horizon -- the
+  minimum ``(cycle, seq)`` over the heap top and the armed channel
+  wakes, which covers REF ticks, controller wake cycles, and thread
+  readiness -- instead of popping and discarding intermediate stale
+  heap events.
+* :meth:`System.run` with ``reference=True`` -- the original
+  single-heap step-by-step loop, kept as the executable specification.
+  ``tests/test_event_loop.py`` pins both loops to the same per-bank
+  command stream, and the golden suites pin them to the streams
+  recorded before this rewrite.
+
+Event ordering contract (both loops): every scheduled occurrence --
+thread wake, channel wake (or re-arm to an earlier cycle), completion
+delivery -- consumes one ticket from a single global sequence counter,
+and occurrences are processed in ``(cycle, seq)`` order.  Fast-forward
+is legal precisely because nothing in the simulator advances state
+between events: skipping from one horizon to the next cannot skip
+work, only bookkeeping.
 """
 
 from __future__ import annotations
@@ -48,6 +67,12 @@ class SystemConfig:
     def __post_init__(self) -> None:
         if self.requests_per_thread <= 0:
             raise ValueError("requests_per_thread must be positive")
+        if self.mlp <= 0:
+            raise ValueError("mlp must be positive")
+        if self.cpu_ghz <= 0:
+            raise ValueError("cpu_ghz must be positive")
+        if self.max_cycles <= 0:
+            raise ValueError("max_cycles must be positive")
 
 
 @dataclass
@@ -94,33 +119,33 @@ class System:
             self.device, self.mitigation, observer=observer,
             config=McConfig(enable_refresh=self.config.enable_refresh),
             obs=obs)
+        # Traces are materialized up front (exactly the per-thread
+        # request budget, gaps pre-converted to cycles): the hot loop's
+        # issue path indexes a list instead of resuming a generator.
+        tck_ns = self.config.timing.tck_ns
         self.threads = [
             ThreadState(
                 thread_id=i,
-                trace=TraceGenerator(
+                ops=TraceGenerator(
                     profile, self.mapping, thread_id=i,
                     seed=self.config.seed,
-                    cpu_ghz=self.config.cpu_ghz).requests(),
+                    cpu_ghz=self.config.cpu_ghz).materialize(
+                        self.config.requests_per_thread, tck_ns),
                 request_budget=self.config.requests_per_thread,
-                tck_ns=self.config.timing.tck_ns,
+                tck_ns=tck_ns,
                 mlp=self.config.mlp)
             for i, profile in enumerate(profiles)
         ]
 
     # -- the event loop --------------------------------------------------------------
 
-    def run(self) -> SystemResult:
-        counter = itertools.count()
-        heap: List = []
+    def run(self, reference: bool = False) -> SystemResult:
+        """Simulate to completion.
 
-        def push(cycle: int, kind: str, payload) -> None:
-            heapq.heappush(heap, (cycle, next(counter), kind, payload))
-
-        for thread in self.threads:
-            push(thread.next_ready, "thread", thread.thread_id)
-
-        last_cycle = 0
-
+        ``reference=True`` runs the pre-rewrite single-heap loop (the
+        executable spec of the event ordering); both loops produce
+        byte-identical command streams and results.
+        """
         # Snapshot sampling: when off, ``next_sample`` sits past
         # max_cycles so the hot loop pays one int compare and nothing
         # else.
@@ -131,6 +156,275 @@ class System:
             from repro.obs.sampler import SnapshotSampler
             sampler = SnapshotSampler(self, obs)
             next_sample = obs.sample_interval
+
+        if reference:
+            last_cycle = self._loop_reference(sampler, next_sample)
+        else:
+            last_cycle = self._loop_fast(sampler, next_sample)
+
+        if sampler is not None:
+            sampler.sample(last_cycle)
+
+        stats = self.device.aggregate_stats()
+        refreshes = sum(t.refs_issued for t in self.mc.refresh.values())
+        rfms = self.mc.raa.rfms_issued if self.mc.raa else 0
+        result = SystemResult(
+            cycles=last_cycle,
+            thread_finish_cycles=[t.finish_cycle or last_cycle
+                                  for t in self.threads],
+            reads_completed=sum(t.completed_reads for t in self.threads),
+            requests_issued=sum(t.issued for t in self.threads),
+            stats=stats,
+            refreshes=refreshes,
+            rfms=rfms,
+            mitigation_name=self.mitigation.name,
+            tck_ns=self.config.timing.tck_ns,
+        )
+        if obs is not None:
+            from repro.obs.sampler import collect_summary
+            obs.summary = collect_summary(self, result)
+        return result
+
+    def _livelock(self) -> RuntimeError:
+        return RuntimeError(
+            "simulation exceeded max_cycles; the system is likely "
+            "livelocked (check mitigation blocking times)")
+
+    # -- the event-horizon loop (production) --------------------------------------
+
+    def _loop_fast(self, sampler, next_sample: int) -> int:
+        """Event-horizon loop; returns the last processed cycle.
+
+        Heap events are ``(cycle, seq, kind, payload)`` with kind 0 =
+        thread readiness and kind 1 = load completion; ``seq`` tickets
+        are drawn from the same global counter as channel-wake arms, so
+        the ``(cycle, seq)`` total order is identical to the reference
+        loop's push order.  Channel wakes are not heap events: channel
+        ``ch``'s live wake sits in ``wake_cycle[ch]`` / ``wake_seq[ch]``
+        (-1 = unarmed) and each iteration fast-forwards the clock to the
+        minimum ``(cycle, seq)`` across the heap top and the armed
+        wakes.  The reference loop instead leaves superseded wakes in
+        the heap and pops/discards them one by one.
+
+        Seq-revival: in the reference loop a superseded wake entry
+        ``(cycle, seq)`` stays in the heap, and if the channel is later
+        re-armed *at that same cycle* the old entry -- with its old,
+        earlier seq -- is the one that fires (the stale check compares
+        cycles, not seqs).  Same-cycle ordering against other events
+        depends on it.  ``pend[ch]`` therefore keeps, per armed-at
+        cycle, the FIFO of pushed-and-still-live seq tickets: arming
+        appends a fresh ticket (the reference always pushes a new heap
+        entry) but the *effective* seq is the FIFO head, which an
+        earlier superseded push may own.  Tickets the reference's pop
+        pointer has already passed (``(cycle, seq) <=`` the event being
+        processed) are pruned at arm time; firing consumes the head.
+        """
+        config = self.config
+        max_cycles = config.max_cycles
+        threads = self.threads
+        mc = self.mc
+        drain = mc.drain
+        enqueue = mc.enqueue
+        heap: List = []
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        seq = 0
+        for thread in threads:
+            heappush(heap, (thread.next_ready, seq, 0, thread.thread_id))
+            seq += 1
+        nchan = config.geometry.channels
+        chan_range = range(nchan)
+        wake_cycle = [-1] * nchan
+        wake_seq = [0] * nchan
+        pend: List[Dict[int, List[int]]] = [{} for _ in chan_range]
+        armed = 0
+        last_cycle = 0
+        kind = 0
+        payload = None
+        # O(1) termination bookkeeping: a thread finishes exactly once
+        # (its last issue for posted-write tails, its last read
+        # completion otherwise), so count down instead of re-scanning
+        # ``all(t.finished ...)`` after every drain.
+        unfinished = sum(1 for t in threads if not t.finished)
+
+        # ``armed_one`` caches the channel index when exactly one wake
+        # is armed (the common state for sparse traffic); -1 means
+        # unknown, so the selection scan below rediscovers it.
+        armed_one = -1
+
+        while True:
+            # -- fast-forward: find the earliest horizon ------------------
+            wch = -1
+            if armed:
+                if armed == 1 and armed_one >= 0:
+                    wch = armed_one
+                    wc = wake_cycle[wch]
+                    ws = wake_seq[wch]
+                else:
+                    wc = ws = -1
+                    for ch in chan_range:
+                        c = wake_cycle[ch]
+                        if c >= 0 and (wc < 0 or c < wc or
+                                       (c == wc and wake_seq[ch] < ws)):
+                            wc = c
+                            ws = wake_seq[ch]
+                            wch = ch
+                if heap:
+                    top = heap[0]
+                    tc = top[0]
+                    if tc < wc or (tc == wc and top[1] < ws):
+                        wch = -1
+            if wch >= 0:
+                cycle = wake_cycle[wch]
+                wake_cycle[wch] = -1
+                armed -= 1
+                armed_one = -1
+                fifos = pend[wch]
+                fifo = fifos[cycle]
+                del fifo[0]  # the fired ticket is the armed head
+                if not fifo:
+                    del fifos[cycle]
+                elif len(fifos) > 2:
+                    # Tickets for passed cycles can never revive (arms
+                    # never target a cycle before the clock).
+                    for c in [c for c in fifos if c < cycle]:
+                        del fifos[c]
+            elif heap:
+                cycle, _s, kind, payload = heappop(heap)
+            else:
+                break
+            if cycle > max_cycles:
+                raise self._livelock()
+            if cycle > last_cycle:
+                last_cycle = cycle
+            if cycle >= next_sample:
+                next_sample = sampler.sample(cycle)
+
+            if wch >= 0:
+                # -- channel wake: drain commands up to ``cycle`` ---------
+                completions, wake = drain(wch, cycle)
+                for request, done in completions:
+                    # Data returns at `done`, possibly beyond this drain
+                    # horizon: deliver it as its own event.
+                    heappush(heap, (done if done > cycle else cycle,
+                                    seq, 1, request))
+                    seq += 1
+                if wake is not None:
+                    at = wake if wake > cycle else cycle + 1
+                    # at > cycle, so no ticket pruning is needed here.
+                    c = wake_cycle[wch]
+                    if c < 0 or at < c:
+                        fifo = pend[wch].get(at)
+                        if fifo is None:
+                            pend[wch][at] = fifo = []
+                        fifo.append(seq)
+                        seq += 1
+                        wake_cycle[wch] = at
+                        wake_seq[wch] = fifo[0]
+                        if c < 0:
+                            armed += 1
+                            armed_one = wch if armed == 1 else -1
+                # Termination can only first become true after a drain
+                # (pending hits zero) or a completion (a final load
+                # returns); thread events always add pending work.
+                if not unfinished and mc._pending_total == 0:
+                    break
+
+            elif kind == 0:
+                # -- thread readiness: issue while window/gaps allow ------
+                thread = threads[payload]
+                # ThreadState.can_issue inlined on both loop edges.
+                pending = thread._pending
+                if pending is not None and cycle >= thread.next_ready \
+                        and (pending[2]
+                             or thread.outstanding < thread.mlp):
+                    touched = set()
+                    add = touched.add
+                    while True:
+                        request = thread.issue(cycle)
+                        enqueue(request)
+                        add(request.location.channel)
+                        pending = thread._pending
+                        if pending is None \
+                                or cycle < thread.next_ready \
+                                or not (pending[2] or
+                                        thread.outstanding < thread.mlp):
+                            break
+                    if thread.finished:
+                        # Posted-write tail: drained with no loads out.
+                        unfinished -= 1
+                    now_s = _s
+                    for ch in touched:
+                        c = wake_cycle[ch]
+                        if c < 0 or cycle < c:
+                            fifo = pend[ch].get(cycle)
+                            if fifo is not None:
+                                # Drop tickets the reference's pop
+                                # pointer already passed and discarded.
+                                while fifo and fifo[0] <= now_s:
+                                    del fifo[0]
+                            else:
+                                pend[ch][cycle] = fifo = []
+                            fifo.append(seq)
+                            seq += 1
+                            wake_cycle[ch] = cycle
+                            wake_seq[ch] = fifo[0]
+                            if c < 0:
+                                armed += 1
+                                armed_one = ch if armed == 1 else -1
+                # drained/stalled_on_mlp inlined: reschedule unless the
+                # trace is exhausted or the load window is full.
+                pending = thread._pending
+                if pending is not None and not (
+                        cycle >= thread.next_ready and not pending[2]
+                        and thread.outstanding >= thread.mlp):
+                    heappush(heap, (thread.next_ready, seq, 0, payload))
+                    seq += 1
+                # If stalled on MLP, a completion event reschedules us.
+
+            else:
+                # -- completion: data returned to the issuing thread ------
+                request = payload
+                thread = threads[request.thread_id]
+                thread.on_completion(request, cycle)
+                if not request.is_write and thread.finished:
+                    # This read was the thread's last outstanding load.
+                    unfinished -= 1
+                # can_issue inlined (drained is subsumed by the
+                # pending-None check).
+                pending = thread._pending
+                if pending is not None and cycle >= thread.next_ready \
+                        and (pending[2]
+                             or thread.outstanding < thread.mlp):
+                    heappush(heap, (cycle, seq, 0, request.thread_id))
+                    seq += 1
+                if not unfinished and mc._pending_total == 0:
+                    break
+
+        return last_cycle
+
+    # -- the reference loop (executable spec) --------------------------------------
+
+    def _loop_reference(self, sampler, next_sample: int) -> int:
+        """The pre-rewrite single-heap loop, kept as the ordering spec.
+
+        Channel wakes are ordinary heap events here; a re-arm to an
+        earlier cycle pushes a second event and the superseded one is
+        recognised (``armed_wake[ch] != cycle``) and discarded when
+        popped.  Apart from those no-op stale pops -- which touch no
+        simulator state -- the processed event sequence is identical to
+        :meth:`_loop_fast`.
+        """
+        counter = itertools.count()
+        heap: List = []
+
+        def push(cycle: int, kind: str, payload) -> None:
+            heapq.heappush(heap, (cycle, next(counter), kind, payload))
+
+        for thread in self.threads:
+            push(thread.next_ready, "thread", thread.thread_id)
+
+        last_cycle = 0
 
         # Earliest scheduled wake per channel; later duplicates are
         # dropped when popped (each drain re-derives its next wake).
@@ -146,9 +440,7 @@ class System:
         while heap:
             cycle, _seq, kind, payload = heapq.heappop(heap)
             if cycle > self.config.max_cycles:
-                raise RuntimeError(
-                    "simulation exceeded max_cycles; the system is likely "
-                    "livelocked (check mitigation blocking times)")
+                raise self._livelock()
             last_cycle = max(last_cycle, cycle)
             if cycle >= next_sample:
                 next_sample = sampler.sample(cycle)
@@ -173,8 +465,6 @@ class System:
                 armed_wake[ch] = None
                 completions, wake = self.mc.drain(ch, cycle)
                 for request, done in completions:
-                    # Data returns at `done`, possibly beyond this drain
-                    # horizon: deliver it as its own event.
                     push(max(done, cycle), "complete", request)
                 if wake is not None:
                     arm_channel(ch, max(wake, cycle + 1))
@@ -192,25 +482,4 @@ class System:
                     and all(t.finished for t in self.threads):
                 break
 
-        if sampler is not None:
-            sampler.sample(last_cycle)
-
-        stats = self.device.aggregate_stats()
-        refreshes = sum(t.refs_issued for t in self.mc.refresh.values())
-        rfms = self.mc.raa.rfms_issued if self.mc.raa else 0
-        result = SystemResult(
-            cycles=last_cycle,
-            thread_finish_cycles=[t.finish_cycle or last_cycle
-                                  for t in self.threads],
-            reads_completed=sum(t.completed_reads for t in self.threads),
-            requests_issued=sum(t.issued for t in self.threads),
-            stats=stats,
-            refreshes=refreshes,
-            rfms=rfms,
-            mitigation_name=self.mitigation.name,
-            tck_ns=self.config.timing.tck_ns,
-        )
-        if obs is not None:
-            from repro.obs.sampler import collect_summary
-            obs.summary = collect_summary(self, result)
-        return result
+        return last_cycle

@@ -17,7 +17,7 @@ ratio.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -141,36 +141,72 @@ class TraceGenerator:
 
     # -- the stream -------------------------------------------------------------------
 
+    def materialize(self, count: int, tck_ns: Optional[float] = None
+                    ) -> List[Tuple[float, MemoryLocation, bool]]:
+        """Pregenerate the first ``count`` requests as a plain list.
+
+        The values are produced by the exact same code path as
+        :meth:`requests` (same RNG draws, same float arithmetic), so a
+        materialized stream is element-identical to the lazy one -- the
+        simulator's issue path just becomes an index bump instead of a
+        generator resume.  With ``tck_ns`` given, the per-request gap is
+        pre-converted from nanoseconds to DRAM cycles using the same
+        ``max(1, int(gap_ns / tck_ns))`` the core model applies.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        stream = self.requests()
+        if tck_ns is None:
+            return [next(stream) for _ in range(count)]
+        ops = []
+        append = ops.append
+        for _ in range(count):
+            gap_ns, location, is_write = next(stream)
+            gap = int(gap_ns / tck_ns)
+            append((gap if gap > 1 else 1, location, is_write))
+        return ops
+
     def requests(self) -> Iterator[Tuple[float, MemoryLocation, bool]]:
         """Yield ``(gap_ns, location, is_write)`` forever."""
         profile = self.profile
         rng = SystemRng(self.seed * 1_000_003 + self.thread_id)
-        instr_per_miss = 1000.0 / profile.mpki
         zipf_cdf = self._zipf_cdf()
+        # Hot-loop hoists (this generator feeds every simulated request;
+        # the draws and float math are unchanged, only the per-item
+        # attribute lookups are lifted out).
+        next_bits = rng.next_bits
+        randrange = rng.randrange
+        sequential = profile.sequential
+        footprint = profile.footprint_pages
+        locality = profile.row_buffer_locality
+        write_fraction = profile.write_fraction
+        gap_scale = (1000.0 / profile.mpki) * self._gap_ns_per_instr
+        thread_page = self._thread_page
+        page_location = self._page_location
+        zipf_pick = self._zipf_pick
         page_index = 0
+        page = thread_page(0)
         line = 0
         lines_left = 0
         while True:
             if lines_left <= 0:
                 # Pick the next page and a geometric run length.
-                if profile.sequential:
-                    page_index = (page_index + 1) % profile.footprint_pages
+                if sequential:
+                    page_index = (page_index + 1) % footprint
                 elif zipf_cdf is not None:
-                    page_index = self._zipf_pick(zipf_cdf, rng)
+                    page_index = zipf_pick(zipf_cdf, rng)
                 else:
-                    page_index = rng.randrange(profile.footprint_pages)
+                    page_index = randrange(footprint)
+                page = thread_page(page_index)
                 line = 0
                 # Geometric with mean 1/(1-locality), via inverse CDF.
                 lines_left = 1
-                while (rng.next_bits(16) / 65536.0
-                       < profile.row_buffer_locality):
+                while next_bits(16) / 65536.0 < locality:
                     lines_left += 1
-            page = self._thread_page(page_index)
-            location = self._page_location(page, line)
+            location = page_location(page, line)
             line += 1
             lines_left -= 1
-            is_write = (rng.next_bits(16) / 65536.0) < profile.write_fraction
+            is_write = next_bits(16) / 65536.0 < write_fraction
             # Gap: instructions to the next miss, +/-50% jitter.
-            jitter = 0.5 + rng.next_bits(16) / 65536.0
-            gap_ns = instr_per_miss * self._gap_ns_per_instr * jitter
-            yield gap_ns, location, is_write
+            jitter = 0.5 + next_bits(16) / 65536.0
+            yield gap_scale * jitter, location, is_write

@@ -20,7 +20,15 @@ class TestProfiles:
     def test_expected_profile_set(self):
         assert set(BENCH_PROFILES) == {
             "hit-heavy", "conflict-heavy", "shadow-rfm",
-            "refresh-dominated"}
+            "refresh-dominated", "idle-heavy"}
+
+    def test_idle_heavy_is_sparse(self):
+        # The point of the profile: many threads, low per-thread
+        # intensity, refresh enabled -- most simulated time is idle.
+        profile = BENCH_PROFILES["idle-heavy"]
+        assert profile.threads >= 8
+        assert profile.enable_refresh
+        assert profile.workload.mpki < 1.0
 
     def test_quick_build_is_smaller(self):
         profile = BENCH_PROFILES["hit-heavy"]
@@ -133,13 +141,32 @@ class TestOverheadMode:
 
 class TestCommittedReport:
     def test_bench_pr2_report_shape(self):
+        # PR2 predates the idle-heavy profile; its report pins the
+        # original four.
         report = load_report(
             Path(__file__).resolve().parents[1] / "BENCH_PR2.json")
+        assert report["schema"] == SCHEMA
+        for variant in ("quick", "full"):
+            profiles = report["variants"][variant]
+            assert set(profiles) == set(BENCH_PROFILES) - {"idle-heavy"}
+            for entry in profiles.values():
+                assert entry["cycles_per_s"] > 0
+        speedup = report["speedup_full_vs_pre_pr"]
+        assert speedup["geomean"] >= 2.0
+
+    def test_bench_pr7_report_shape(self):
+        report = load_report(
+            Path(__file__).resolve().parents[1] / "BENCH_PR7.json")
         assert report["schema"] == SCHEMA
         for variant in ("quick", "full"):
             profiles = report["variants"][variant]
             assert set(profiles) == set(BENCH_PROFILES)
             for entry in profiles.values():
                 assert entry["cycles_per_s"] > 0
+        # pre_pr holds the PR2-era loop's numbers for the profiles that
+        # existed then; idle-heavy is new in this report.
+        pre = report["pre_pr"]["full"]
+        assert set(pre) == set(BENCH_PROFILES) - {"idle-heavy"}
         speedup = report["speedup_full_vs_pre_pr"]
-        assert speedup["geomean"] >= 2.0
+        # The headline acceptance number of the event-horizon rewrite.
+        assert speedup["refresh-dominated"] >= 2.0

@@ -1,0 +1,157 @@
+"""Fast loop vs reference loop: same events, same order, same stream.
+
+The production event-horizon loop (``System.run()``) and the
+single-heap reference loop (``System.run(reference=True)``) implement
+one event-ordering contract (see ``repro/sim/system.py``).  These tests
+pin them to each other directly -- same per-bank command stream digest,
+same ``SystemResult`` -- across every mitigation class the scheduler
+special-cases, with refresh off, and with observability sampling on.
+The golden suite separately pins both to the pre-rewrite recordings;
+this suite is the fast/reference bridge that localises a divergence to
+the loop rewrite rather than the controller.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+from repro.sim import System, SystemConfig
+from repro.workloads.trace import WorkloadProfile
+
+_GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+
+def _load_generator():
+    spec = importlib.util.spec_from_file_location(
+        "golden_generate_loops", _GOLDEN_DIR / "generate.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+GEN = _load_generator()
+
+#: Sparse traffic with long idle gaps between requests: the fast loop
+#: spends most of its iterations fast-forwarding across REF horizons
+#: and re-arming channel wakes at already-armed cycles, which is
+#: exactly where the seq-revival bookkeeping must match the reference.
+_SPARSE = WorkloadProfile(
+    name="loop-sparse", mpki=0.4, row_buffer_locality=0.3,
+    write_fraction=0.25, footprint_pages=512)
+
+
+def _result_fields(result):
+    stats = result.stats
+    return {
+        "cycles": result.cycles,
+        "thread_finish_cycles": list(result.thread_finish_cycles),
+        "reads_completed": result.reads_completed,
+        "requests_issued": result.requests_issued,
+        "refreshes": result.refreshes,
+        "rfms": result.rfms,
+        "stats": {name: getattr(stats, name) for name in vars(stats)},
+    }
+
+
+def _run_pair(build):
+    """Build two identical systems; run one fast, one reference."""
+    fast_sys = build()
+    ref_sys = build()
+    fast_result, fast_digest, fast_events = GEN.run_captured(fast_sys)
+    ref_result, ref_digest, ref_events = _run_captured_reference(ref_sys)
+    assert fast_events == ref_events
+    assert fast_digest == ref_digest
+    assert _result_fields(fast_result) == _result_fields(ref_result)
+    return fast_result
+
+
+def _run_captured_reference(system):
+    """``GEN.run_captured`` but through the reference loop."""
+    import hashlib
+
+    from repro.dram.bank import Bank
+
+    addr_of = {id(bank): addr
+               for addr, bank in system.device.banks.items()}
+    events = []
+    originals = {}
+
+    def make_wrapper(name, orig):
+        def wrapped(self, *args, **kwargs):
+            out = orig(self, *args, **kwargs)
+            addr = addr_of.get(id(self))
+            if addr is not None:
+                where = f"{addr.channel}.{addr.rank}.{addr.bank}"
+                if name == "issue_act":
+                    events.append(f"{where} ACT {args[0]} @{args[1]}")
+                else:
+                    events.append(
+                        f"{where} {name[6:].upper()} @{args[0]}")
+            return out
+        return wrapped
+
+    for name in GEN._BANK_COMMANDS:
+        originals[name] = getattr(Bank, name)
+        setattr(Bank, name, make_wrapper(name, originals[name]))
+    try:
+        result = system.run(reference=True)
+    finally:
+        for name, orig in originals.items():
+            setattr(Bank, name, orig)
+    digest = hashlib.sha256("\n".join(events).encode()).hexdigest()
+    return result, digest, len(events)
+
+
+class TestFastMatchesReference:
+    @pytest.mark.parametrize("scheme", GEN.SCHEMES)
+    def test_golden_scenarios(self, scheme):
+        _run_pair(lambda: GEN.build_system(scheme)[0])
+
+    def test_sparse_idle_traffic(self):
+        def build():
+            config = SystemConfig(requests_per_thread=300, seed=77)
+            return System([_SPARSE] * 3, config=config)
+        _run_pair(build)
+
+    def test_refresh_disabled(self):
+        def build():
+            config = SystemConfig(requests_per_thread=300, seed=31,
+                                  enable_refresh=False)
+            return System([_SPARSE, GEN.THREADS[0]], config=config)
+        result = _run_pair(build)
+        assert result.refreshes == 0
+
+    def test_with_observability_sampling(self):
+        from repro.obs import Observability
+
+        def build(obs):
+            config = SystemConfig(requests_per_thread=250, seed=19)
+            return System([GEN.THREADS[0], _SPARSE], config=config,
+                          obs=obs)
+
+        obs_fast = Observability.in_memory(sample_interval=5_000)
+        obs_ref = Observability.in_memory(sample_interval=5_000)
+        fast = build(obs_fast).run()
+        ref = build(obs_ref).run(reference=True)
+        obs_fast.close()
+        obs_ref.close()
+        assert _result_fields(fast) == _result_fields(ref)
+
+
+class TestDeterminism:
+    def test_fast_loop_is_deterministic(self):
+        def build():
+            config = SystemConfig(requests_per_thread=300, seed=77)
+            return System([_SPARSE] * 3, config=config)
+        _, digest_a, events_a = GEN.run_captured(build())
+        _, digest_b, events_b = GEN.run_captured(build())
+        assert events_a == events_b
+        assert digest_a == digest_b
+
+    def test_loops_share_final_cycle(self):
+        system_fast, _ = GEN.build_system("none")
+        system_ref, _ = GEN.build_system("none")
+        fast = system_fast.run()
+        ref = system_ref.run(reference=True)
+        assert fast.cycles == ref.cycles

@@ -100,6 +100,26 @@ class TestThreadState:
                         mlp=0)
 
 
+class TestSystemConfig:
+    def test_defaults_valid(self):
+        config = SystemConfig()
+        assert config.mlp > 0 and config.cpu_ghz > 0
+
+    @pytest.mark.parametrize("field,value", [
+        ("requests_per_thread", 0),
+        ("requests_per_thread", -5),
+        ("mlp", 0),
+        ("mlp", -1),
+        ("cpu_ghz", 0.0),
+        ("cpu_ghz", -2.5),
+        ("max_cycles", 0),
+        ("max_cycles", -100),
+    ])
+    def test_non_positive_fields_rejected(self, field, value):
+        with pytest.raises(ValueError, match=field):
+            SystemConfig(**{field: value})
+
+
 class TestSystem:
     def test_all_requests_complete(self):
         system = System([SPEC_PROFILES["gcc"]], config=small_config())
