@@ -79,6 +79,83 @@ def simulate_attack(attacker, layout: SubarrayLayout, hcnt: int,
     )
 
 
+def simulate_tracker_defense(attacker, layout: SubarrayLayout,
+                             mitigation, hcnt: int, intervals: int,
+                             blast_radius: int = 3,
+                             acts_per_interval: Optional[int] = None,
+                             ref_every: Optional[int] = None
+                             ) -> MonteCarloResult:
+    """Run an attack campaign against a tracker-based mitigation.
+
+    The MC-side counterpart of :func:`simulate_attack`: instead of
+    SHADOW's in-DRAM shuffle, the defense is any
+    :class:`~repro.mitigations.base.Mitigation` (typically a
+    tracker x policy x scope composition) whose TRRs, swaps and
+    RFM-hosted refreshes are applied to the same
+    :class:`~repro.rowhammer.model.DisturbanceModel`.  Cycle time is
+    abstracted to interval indices -- disturbance accounting only needs
+    ordering, not wall-clock -- and ``ref_every`` (in intervals)
+    emulates the tREFW boundary for ref-window-reset schemes.
+
+    Two fidelity caveats follow from that abstraction: throttle-based
+    schemes (BlockHammer) defend by *stretching wall-clock time* so
+    ``H_cnt`` cannot be reached within tREFW, which an interval-indexed
+    model cannot express -- evaluate those through the full controller;
+    and the model's ``blast_radius`` should match the mitigation's TRR
+    radius, else distance>radius victims accumulate disturbance no TRR
+    clears.
+    """
+    if intervals <= 0:
+        raise ValueError("intervals must be positive")
+    from repro.dram.device import DramGeometry
+    from repro.dram.timing import DDR5_4800
+
+    geometry = DramGeometry(channels=1, ranks_per_channel=1,
+                            banks_per_rank=1, layout=layout)
+    mitigation.bind(geometry, DDR5_4800)
+    model = DisturbanceModel(
+        HammerConfig(hcnt=hcnt, blast_radius=blast_radius, layout=layout))
+
+    acts = acts_per_interval
+    if acts is None:
+        acts = mitigation.raaimt if mitigation.uses_rfm else 64
+
+    def _refresh(rows, cycle: int) -> None:
+        for row in rows:
+            model.on_row_refresh(_ADDR, row, cycle=cycle)
+
+    first_flip = None
+    for interval in range(intervals):
+        for pa_row in attacker.interval_rows(interval, acts):
+            da = mitigation.translate(_ADDR, pa_row)
+            model.on_activate(_ADDR, da, cycle=interval)
+            out = mitigation.on_activate(_ADDR, pa_row, da, interval)
+            if out is not None:
+                _refresh(out.trr_rows, interval)
+                _refresh(out.restored_rows, interval)
+        if model.flipped and first_flip is None:
+            first_flip = interval
+            break
+        if mitigation.uses_rfm:
+            rfm = mitigation.on_rfm(_ADDR, interval)
+            _refresh(rfm.refreshed_rows, interval)
+            for src, dst in rfm.copies:
+                model.on_row_copy(_ADDR, src, dst, cycle=interval)
+        if ref_every and (interval + 1) % ref_every == 0:
+            model.on_refresh_range(_ADDR, 0, layout.mc_rows_per_bank - 1,
+                                   cycle=interval)
+            mitigation.on_ref(_ADDR, 0, layout.mc_rows_per_bank - 1,
+                              interval)
+
+    return MonteCarloResult(
+        flipped=model.flipped,
+        intervals_run=interval + 1,
+        total_acts=model.total_acts,
+        first_flip_interval=first_flip,
+        max_disturbance=model.max_disturbance(),
+    )
+
+
 def flip_rate(make_attacker: Callable[[int], object],
               layout: SubarrayLayout, hcnt: int, raaimt: int,
               intervals: int, trials: int,

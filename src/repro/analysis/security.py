@@ -240,3 +240,138 @@ def bit_flip_probability(hcnt: int, raaimt: int, **kw) -> float:
 def is_secure(hcnt: int, raaimt: int, budget: float = 0.01, **kw) -> bool:
     """The paper's near-complete-protection criterion: <1% per rank-year."""
     return bit_flip_probability(hcnt, raaimt, **kw) < budget
+
+
+# -- per-scheme security models ------------------------------------------------------
+#
+# One registry entry per analyzable scheme so the CLI (``security
+# --scheme``), tests and sweeps evaluate any scheme's protection bound
+# by name, with zero driver-level special cases.  Every model is a
+# callable ``(hcnt, raaimt=None, **kw) -> dict`` whose result carries at
+# least ``"overall"``: the rank-year bit-flip probability (for the
+# paper's <1%/rank-year criterion).  ``raaimt=None`` derives the
+# scheme's own secure default for ``hcnt``.
+
+from repro.spec.registry import Registry  # noqa: E402  (registry is import-light)
+
+SECURITY_MODELS = Registry("security-model",
+                           providers=("repro.analysis.security",))
+
+
+def sampled_trr_rank_year(hcnt: int, raaimt: int,
+                          banks_per_rank: int = 32,
+                          timing: TimingParams = DDR5_4800,
+                          years: float = 1.0) -> Dict[str, float]:
+    """Evasion bound for uniform-sampling RFM TRR (PARFM, MINT).
+
+    Each RFM refreshes the neighbourhood of one row drawn uniformly from
+    the window's RAAIMT activations, so an attacker devoting ``m`` of
+    those to the aggressor is mitigated with probability ``m/RAAIMT``
+    per window and needs ``ceil(hcnt/m)`` consecutive evasions (a single
+    TRR resets the victim's accumulated charge, restarting the
+    campaign; like Appendix XI's scenarios II/III the attacker is
+    credited no blast amplification).  The bound maximizes the expanded
+    rank-year probability over ``m``, since slower campaigns also get
+    fewer rank-year trials.
+    """
+    if hcnt <= 0 or raaimt <= 0:
+        raise ValueError("hcnt and raaimt must be positive")
+    act_seconds = timing.nanoseconds(timing.tRC) * 1e-9
+    best = {"overall": 0.0, "evasion_per_campaign": 0.0,
+            "aggressor_acts_per_window": 1.0}
+    for m in range(1, raaimt):
+        windows = math.ceil(hcnt / m)
+        log_single = windows * math.log1p(-m / raaimt)
+        if log_single / math.log(10) < _LOG10_FLOOR:
+            continue
+        single = math.exp(log_single)
+        campaign_seconds = windows * raaimt * act_seconds
+        trials = (SECONDS_PER_YEAR * years / campaign_seconds
+                  * banks_per_rank)
+        expanded = _expand(single, trials)
+        if expanded > best["overall"]:
+            best = {"overall": expanded, "evasion_per_campaign": single,
+                    "aggressor_acts_per_window": float(m)}
+    return best
+
+
+def resilient_trr_rank_year(hcnt: int, raaimt: int, entries: int,
+                            w_sum: float = 3.5,
+                            timing: TimingParams = DDR5_4800
+                            ) -> Dict[str, float]:
+    """Deterministic bound for DAPPER-style resilient hottest-first TRR.
+
+    The tracker thresholds on the Misra-Gries lower bound, so its
+    guarantee is deterministic, not probabilistic: over a refresh window
+    of ``A = tREFW/tRC`` worst-case activations the spill (and with it
+    the gap between any row's true count and its provable count) is at
+    most ``A/entries``, and a row that becomes the provable hottest
+    waits at most one RFM interval (RAAIMT activations) for its TRR.
+    A victim's unmitigated weighted disturbance therefore never exceeds
+    ``(A/entries + RAAIMT) * w_sum/2`` -- if that stays below ``hcnt``
+    the flip probability is exactly 0, otherwise the bound offers no
+    protection claim and we report 1 (the conservative Table II print).
+    """
+    if hcnt <= 0 or raaimt <= 0 or entries <= 0:
+        raise ValueError("hcnt, raaimt and entries must be positive")
+    acts_per_window = timing.tREFW // timing.tRC
+    spill_bound = acts_per_window // entries
+    unmitigated = spill_bound + raaimt
+    effective_hcnt = hcnt / (w_sum / 2.0)
+    margin = effective_hcnt - unmitigated
+    return {
+        "overall": 0.0 if margin > 0 else 1.0,
+        "unmitigated_act_bound": float(unmitigated),
+        "spill_bound": float(spill_bound),
+        "effective_hcnt": float(effective_hcnt),
+        "margin_acts": float(margin),
+    }
+
+
+@SECURITY_MODELS.register("shadow")
+def shadow_security_model(hcnt: int, raaimt: Optional[int] = None,
+                          **kw) -> Dict[str, float]:
+    """Appendix XI (Table II): the three-scenario SHADOW analysis."""
+    if raaimt is None:
+        from repro.mitigations.parfm import shadow_raaimt
+        raaimt = shadow_raaimt(hcnt)
+    analysis = SecurityAnalysis(
+        SecurityParams(hcnt=hcnt, raaimt=raaimt, **kw))
+    return dict(analysis.rank_year(), raaimt=float(raaimt))
+
+
+@SECURITY_MODELS.register("parfm")
+def parfm_security_model(hcnt: int, raaimt: Optional[int] = None,
+                         radius: int = 1, **kw) -> Dict[str, float]:
+    """PARFM: uniform sampling from a RAAIMT-deep history."""
+    if raaimt is None:
+        from repro.mitigations.parfm import parfm_raaimt
+        raaimt = parfm_raaimt(hcnt, radius)
+    return dict(sampled_trr_rank_year(hcnt, raaimt, **kw),
+                raaimt=float(raaimt))
+
+
+@SECURITY_MODELS.register("mint")
+def mint_security_model(hcnt: int, raaimt: Optional[int] = None,
+                        radius: int = 1, **kw) -> Dict[str, float]:
+    """MINT: identical per-window selection distribution to PARFM (a
+    pre-committed uniform slot), hence the same evasion bound."""
+    if raaimt is None:
+        from repro.mitigations.mint import mint_raaimt
+        raaimt = mint_raaimt(hcnt, radius)
+    return dict(sampled_trr_rank_year(hcnt, raaimt, **kw),
+                raaimt=float(raaimt))
+
+
+@SECURITY_MODELS.register("dapper")
+def dapper_security_model(hcnt: int, raaimt: Optional[int] = None,
+                          entries: Optional[int] = None,
+                          radius: int = 1, **kw) -> Dict[str, float]:
+    """DAPPER: deterministic resilient-tracker bound."""
+    from repro.mitigations.dapper import dapper_entries, dapper_raaimt
+    if raaimt is None:
+        raaimt = dapper_raaimt(hcnt, radius)
+    if entries is None:
+        entries = dapper_entries(hcnt)
+    return dict(resilient_trr_rank_year(hcnt, raaimt, entries, **kw),
+                raaimt=float(raaimt), entries=float(entries))

@@ -125,6 +125,15 @@ BENCH_PROFILES: Dict[str, BenchProfile] = {
                         "fast-forward dominates",
             workload=_IDLE_HEAVY, threads=16,
             requests_per_thread=250, seed=505),
+        BenchProfile(
+            name="tracker-heavy",
+            description="row-miss traffic into a composed tracker "
+                        "scheme (DAPPER at a low threshold): per-ACT "
+                        "observe, frequent RFM TRR work, REF-window "
+                        "resets",
+            workload=_CONFLICT_HEAVY, threads=4,
+            requests_per_thread=3000, seed=606,
+            scheme=SchemeSpec("dapper", (("hcnt", 1024),))),
     )
 }
 

@@ -185,12 +185,16 @@ def cmd_trace(args) -> int:
 
 def cmd_security(args) -> int:
     """Handle ``shadow-repro security``."""
-    analysis = SecurityAnalysis(
-        SecurityParams(hcnt=args.hcnt, raaimt=args.raaimt))
-    r = analysis.rank_year()
-    print(f"Hcnt={args.hcnt} RAAIMT={args.raaimt}: "
+    from repro.analysis.security import SECURITY_MODELS
+
+    model = SECURITY_MODELS.resolve(args.scheme)
+    r = model(args.hcnt, raaimt=args.raaimt)
+    raaimt = int(r.get("raaimt", args.raaimt or 0))
+    print(f"{args.scheme}: Hcnt={args.hcnt} RAAIMT={raaimt}: "
           f"P(bit-flip per rank-year) = {r['overall']:.3e}")
-    for key in ("scenario1", "scenario2", "scenario3"):
+    for key in sorted(r):
+        if key in ("overall", "raaimt"):
+            continue
         print(f"  {key}: {r[key]:.3e}")
     print("secure (<1%/rank-year):", r["overall"] < 0.01)
     return 0
@@ -316,13 +320,18 @@ def cmd_bench(args) -> int:
 
 #: Drivers that run on the experiment engine and take its flags.
 ENGINE_EXPERIMENTS = frozenset(
-    ["fig8", "fig9", "fig10", "fig11", "fig12", "ablations"])
+    ["fig8", "fig9", "fig10", "fig11", "fig12", "ablations",
+     "scheme-matrix"])
+
+#: Experiment names whose driver module is not ``repro.experiments.<name>``.
+_EXPERIMENT_MODULES = {"scheme-matrix": "matrix"}
 
 
 def cmd_experiment(args) -> int:
     """Handle ``shadow-repro experiment <name>``."""
     import importlib
-    module = importlib.import_module(f"repro.experiments.{args.name}")
+    module = importlib.import_module(
+        f"repro.experiments.{_EXPERIMENT_MODULES.get(args.name, args.name)}")
     if args.dump_spec:
         import json
         if not hasattr(module, "spec"):
@@ -385,6 +394,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     scheme_names = cli_scheme_names()
 
+    from repro.analysis.security import SECURITY_MODELS
+    security_model_names = SECURITY_MODELS.names()
+
     run_p = sub.add_parser(
         "run", help="simulate a workload (or a serialized spec)")
     run_p.add_argument("--workload", default="mcf")
@@ -445,9 +457,15 @@ def build_parser() -> argparse.ArgumentParser:
                               "(0: off; default 10000)")
     trace_p.set_defaults(func=cmd_trace)
 
-    sec_p = sub.add_parser("security", help="Appendix XI bounds")
+    sec_p = sub.add_parser("security", help="per-scheme security bounds")
+    sec_p.add_argument("--scheme", default="shadow",
+                       choices=security_model_names,
+                       help="security model (default: shadow, the "
+                            "Appendix XI three-scenario analysis)")
     sec_p.add_argument("--hcnt", type=int, default=4096)
-    sec_p.add_argument("--raaimt", type=int, default=64)
+    sec_p.add_argument("--raaimt", type=int, default=None,
+                       help="mitigation cadence (default: the scheme's "
+                            "own secure derivation for --hcnt)")
     sec_p.set_defaults(func=cmd_security)
 
     atk_p = sub.add_parser("attack", help="Monte Carlo adversary")
@@ -468,7 +486,8 @@ def build_parser() -> argparse.ArgumentParser:
     exp_p = sub.add_parser("experiment", help="run a table/figure driver")
     exp_p.add_argument("name", choices=["table2", "table3", "fig8",
                                         "fig9", "fig10", "fig11",
-                                        "fig12", "ablations", "extended"])
+                                        "fig12", "ablations", "extended",
+                                        "scheme-matrix"])
     exp_p.add_argument("fidelity", nargs="?", choices=["smoke", "full"])
     exp_p.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="worker processes for engine-backed drivers "

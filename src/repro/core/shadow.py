@@ -10,7 +10,7 @@ RFM's tRFM window.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.core.config import ShadowConfig
 from repro.core.controller import ShadowBankController
@@ -23,11 +23,11 @@ from repro.utils.rng import make_rng
 class Shadow(Mitigation):
     """The SHADOW in-DRAM row-shuffle mitigation."""
 
-    def __init__(self, config: ShadowConfig = None):
+    def __init__(self, config: Optional[ShadowConfig] = None):
         super().__init__()
         self.config = config or ShadowConfig()
         self._controllers: Dict[BankAddress, ShadowBankController] = {}
-        self.timings: ShadowTimings = None
+        self.timings: Optional[ShadowTimings] = None
         # The name doubles as a cache key for alone-run results, so it
         # must encode everything that changes SHADOW's timing behaviour.
         self.name = (f"SHADOW-r{self.config.raaimt}"

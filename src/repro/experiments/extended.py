@@ -1,58 +1,66 @@
-"""Extended comparison: every implemented scheme on one mix.
+"""Extended comparison: every registered scheme on one mix.
 
-Beyond the paper's figure sets: adds Graphene, stand-alone PARA, and
-the Section VIII filtered-RFM variant of SHADOW to the comparison, all
-at one threshold on mix-blend.  Used to sanity-check that the whole
-mitigation zoo behaves sensibly side by side, and to quantify how many
-RFMs the hazard filter saves on benign traffic.
+Beyond the paper's figure sets: the comparison set is drawn from the
+central scheme registry (:data:`repro.spec.SCHEMES`), so it includes
+Graphene, stand-alone PARA, the post-paper MINT and DAPPER trackers,
+and every future scheme that registers an ``hcnt``-buildable factory --
+no table here to keep in sync.  The Section VIII filtered-RFM variant
+of SHADOW is the one composite added by hand (it wraps another scheme,
+so it has no stand-alone registry entry).  Used to sanity-check that
+the whole mitigation zoo behaves sensibly side by side, and to quantify
+how many RFMs the hazard filter saves on benign traffic.
 """
 
 from __future__ import annotations
 
 from typing import Dict
 
-from repro.core import Shadow, ShadowConfig
 from repro.core.config import secure_raaimt
 from repro.experiments.configs import DEFAULT_HCNT, fidelity_config
 from repro.experiments.report import format_table, save_results
-from repro.mitigations import (
-    BlockHammer,
-    DoubleRefreshRate,
-    FilteredRfm,
-    Graphene,
-    Para,
-    Parfm,
-    RandomizedRowSwap,
-    mithril_area,
-    mithril_perf,
-)
-from repro.mitigations.para import para_probability
+from repro.mitigations import FilteredRfm
 from repro.sim.runner import ExperimentRunner
+from repro.spec.registry import SCHEMES
 from repro.workloads import mix_blend
+
+#: Registry name -> table label.  Names absent from this map print as
+#: registered; names mapped to ``None`` are excluded from the sweep.
+_DISPLAY = {
+    "none": None,           # the normalization baseline, not a scheme row
+    "shadow-ablate": None,  # identical to "shadow" at default toggles
+    "shadow": "SHADOW",
+    "parfm": "PARFM",
+    "para": "PARA",
+    "mithril-perf": "Mithril-perf",
+    "mithril-area": "Mithril-area",
+    "graphene": "Graphene",
+    "blockhammer": "BlockHammer",
+    "rrs": "RRS",
+    "drr": "DRR",
+    "mint": "MINT",
+    "dapper": "DAPPER",
+}
 
 
 def scheme_factories(hcnt: int) -> Dict[str, callable]:
-    """Fresh-instance factories for every implemented scheme."""
+    """Fresh-instance factories for every ``hcnt``-buildable scheme.
+
+    Driven by the scheme registry: anything constructible from ``hcnt``
+    alone (the same criterion the CLI uses) gets a row, built exactly
+    as the CLI and cached experiment jobs build it.
+    """
+    factories: Dict[str, callable] = {}
+    for name in SCHEMES.names():
+        label = _DISPLAY.get(name, name)
+        if label is None or not SCHEMES.accepts(name, "hcnt"):
+            continue
+        params = SCHEMES.buildable_params(name, {"hcnt": hcnt})
+        factories[label] = lambda n=name, p=params: SCHEMES.build(n, **p)
+
     raaimt = secure_raaimt(hcnt)
-
-    def shadow():
-        return Shadow(ShadowConfig(raaimt=raaimt, rng_kind="system"))
-
-    def filtered_shadow():
-        return FilteredRfm(shadow(), hazard_threshold=max(8, raaimt // 4))
-
-    return {
-        "SHADOW": shadow,
-        "SHADOW+filter": filtered_shadow,
-        "PARFM": lambda: Parfm.for_hcnt(hcnt),
-        "PARA": lambda: Para(para_probability(hcnt)),
-        "Mithril-perf": lambda: mithril_perf(hcnt),
-        "Mithril-area": lambda: mithril_area(hcnt),
-        "Graphene": lambda: Graphene(hcnt),
-        "BlockHammer": lambda: BlockHammer.for_hcnt(hcnt),
-        "RRS": lambda: RandomizedRowSwap.for_hcnt(hcnt),
-        "DRR": DoubleRefreshRate,
-    }
+    factories["SHADOW+filter"] = lambda: FilteredRfm(
+        factories["SHADOW"](), hazard_threshold=max(8, raaimt // 4))
+    return factories
 
 
 def run(fidelity: str = "smoke", hcnt: int = DEFAULT_HCNT) -> Dict:

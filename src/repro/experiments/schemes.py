@@ -15,29 +15,29 @@ from __future__ import annotations
 from typing import Callable, Dict
 
 from repro.core.factories import make_shadow, make_shadow_with_trcd
-from repro.mitigations import (
-    BlockHammer,
-    DoubleRefreshRate,
-    Mitigation,
-    NoMitigation,
-    Parfm,
-    RandomizedRowSwap,
-    mithril_area,
-    mithril_perf,
-)
+from repro.mitigations import Mitigation, NoMitigation
+from repro.spec.registry import SCHEMES
 
 SchemeFactory = Callable[[], Mitigation]
+
+
+def _from_registry(name: str, **params) -> SchemeFactory:
+    """A fresh-instance factory that builds through the scheme registry
+    (the same construction path as the CLI and cached jobs)."""
+    return lambda: SCHEMES.build(name, **params)
 
 
 def rfm_scheme_factories(hcnt: int,
                          blast_radius: int = 1) -> Dict[str, SchemeFactory]:
     """The Figure 8/10 comparison set (RFM-compatible schemes + DRR)."""
     return {
-        "SHADOW": lambda: make_shadow(hcnt),
-        "PARFM": lambda: Parfm.for_hcnt(hcnt, blast_radius),
-        "Mithril-perf": lambda: mithril_perf(hcnt, blast_radius),
-        "Mithril-area": lambda: mithril_area(hcnt, blast_radius),
-        "DRR": DoubleRefreshRate,
+        "SHADOW": _from_registry("shadow", hcnt=hcnt),
+        "PARFM": _from_registry("parfm", hcnt=hcnt, radius=blast_radius),
+        "Mithril-perf": _from_registry("mithril-perf", hcnt=hcnt,
+                                       radius=blast_radius),
+        "Mithril-area": _from_registry("mithril-area", hcnt=hcnt,
+                                       radius=blast_radius),
+        "DRR": _from_registry("drr"),
     }
 
 
@@ -55,11 +55,12 @@ BLOCKHAMMER_RATE_SCALE = 10.0
 def archsim_scheme_factories(hcnt: int) -> Dict[str, SchemeFactory]:
     """The Figure 11 comparison set."""
     return {
-        "SHADOW": lambda: make_shadow(hcnt),
-        "BlockHammer": lambda: BlockHammer.for_hcnt(
-            hcnt, history_scale=BLOCKHAMMER_HISTORY_SCALE,
+        "SHADOW": _from_registry("shadow", hcnt=hcnt),
+        "BlockHammer": _from_registry(
+            "blockhammer", hcnt=hcnt,
+            history_scale=BLOCKHAMMER_HISTORY_SCALE,
             rate_scale=BLOCKHAMMER_RATE_SCALE),
-        "RRS": lambda: RandomizedRowSwap.for_hcnt(hcnt),
+        "RRS": _from_registry("rrs", hcnt=hcnt),
     }
 
 

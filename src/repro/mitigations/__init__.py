@@ -16,6 +16,11 @@ Every scheme from the paper's evaluation is implemented behind one
   Bloom filter + ACT throttling.
 * :class:`~repro.mitigations.rrs.RandomizedRowSwap` -- MC-side row-swap
   with channel-blocking swaps.
+* :class:`~repro.mitigations.mint.Mint` / :class:`~repro.mitigations.
+  dapper.Dapper` -- post-paper tracker designs (MINT's single-entry
+  sampler, DAPPER's performance-attack-resilient tracker), expressed as
+  one-file compositions on the tracker x policy x scope substrate in
+  :mod:`repro.mitigations.compose`.
 
 SHADOW itself lives in :mod:`repro.core` (it is the paper's primary
 contribution) but implements this same interface.
@@ -23,9 +28,20 @@ contribution) but implements this same interface.
 
 from repro.mitigations.base import ActOutcome, Mitigation, RfmOutcome
 from repro.mitigations.blockhammer import BlockHammer, BlockHammerConfig
+from repro.mitigations.compose import (
+    ActionPolicy,
+    ComposedMitigation,
+    RefWindowResetMixin,
+    Scope,
+    ThrottleMixin,
+    Tracker,
+    TrackerSpec,
+)
+from repro.mitigations.dapper import Dapper
 from repro.mitigations.drr import DoubleRefreshRate
 from repro.mitigations.filtered import FilteredRfm
 from repro.mitigations.graphene import Graphene
+from repro.mitigations.mint import Mint
 from repro.mitigations.mithril import Mithril, mithril_area, mithril_perf
 from repro.mitigations.none import NoMitigation
 from repro.mitigations.para import Para
@@ -35,7 +51,9 @@ from repro.mitigations.trackers import (
     CountMinSketch,
     CounterSummary,
     DualCountingBloomFilter,
+    MintSampler,
     MisraGries,
+    ResilientMisraGries,
 )
 
 # -- spec-registry entries ---------------------------------------------------------
@@ -96,16 +114,36 @@ def _make_para(hcnt: int) -> Para:
     from repro.mitigations.para import para_probability
     return Para(para_probability(hcnt))
 
+
+@_SCHEMES.register("mint")
+def _make_mint(hcnt: int, radius: int = 1) -> Mint:
+    return Mint.for_hcnt(hcnt, radius)
+
+
+@_SCHEMES.register("dapper")
+def _make_dapper(hcnt: int, radius: int = 1) -> Dapper:
+    return Dapper.for_hcnt(hcnt, radius)
+
 __all__ = [
     "ActOutcome",
+    "ActionPolicy",
     "BlockHammer",
+    "ComposedMitigation",
+    "RefWindowResetMixin",
+    "Scope",
+    "ThrottleMixin",
+    "Tracker",
+    "TrackerSpec",
     "BlockHammerConfig",
     "CountMinSketch",
     "CounterSummary",
+    "Dapper",
     "DoubleRefreshRate",
     "DualCountingBloomFilter",
     "FilteredRfm",
     "Graphene",
+    "Mint",
+    "MintSampler",
     "MisraGries",
     "Mithril",
     "Mitigation",
@@ -113,6 +151,7 @@ __all__ = [
     "Para",
     "Parfm",
     "RandomizedRowSwap",
+    "ResilientMisraGries",
     "RfmOutcome",
     "RrsConfig",
     "mithril_area",

@@ -1,5 +1,8 @@
 """BlockHammer: blacklist-and-throttle (Yaglikci et al., HPCA 2021).
 
+Composition: ``dcbf x throttle x bank/epoch`` (the D-CBF rotates its
+own epoch halves on the cycle stamps it is fed).
+
 A dual counting Bloom filter (D-CBF) per bank estimates each row's ACT
 count over rolling epoch halves.  Rows whose estimate crosses the
 blacklist threshold ``N_BL`` are rate-limited: consecutive ACTs must be
@@ -18,11 +21,15 @@ Two properties drive the paper's Figure 11 shape:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Optional
 
-from repro.dram.device import BankAddress
-from repro.mitigations.base import Mitigation
-from repro.mitigations.trackers import DualCountingBloomFilter
+from repro.mitigations.compose import (
+    ComposedMitigation,
+    Scope,
+    Throttle,
+    ThrottleMixin,
+    TrackerSpec,
+)
 from repro.rowhammer.model import blast_weight_sum
 
 
@@ -68,19 +75,23 @@ class BlockHammerConfig:
                           / self.history_scale))
 
 
-class BlockHammer(Mitigation):
+class BlockHammer(ThrottleMixin, ComposedMitigation):
     """D-CBF blacklisting + ACT throttling."""
 
     def __init__(self, config: BlockHammerConfig):
-        super().__init__()
         self.config = config
-        self._filters: Dict[BankAddress, DualCountingBloomFilter] = {}
-        self._last_act: Dict[Tuple[BankAddress, int], int] = {}
+        super().__init__(
+            tracker=TrackerSpec.of(
+                "dcbf", width=config.cbf_width, depth=config.cbf_depth,
+                epoch_cycles=lambda g, t: max(1, t.tREFW // 2)),
+            policy=Throttle(threshold=config.blacklist_threshold,
+                            delay=self._derive_delay),
+            scope=Scope(per="bank", reset="epoch"),
+            name=(f"BlockHammer-h{config.hcnt}-b{config.blast_radius}"
+                  f"-s{config.history_scale:g}"),
+        )
         self.throttled_acts = 0
         self.total_delay_cycles = 0
-        self.name = (f"BlockHammer-h{config.hcnt}-b{config.blast_radius}"
-                     f"-s{config.history_scale:g}")
-        self._delay = None
 
     @classmethod
     def for_hcnt(cls, hcnt: int, blast_radius: int = 1,
@@ -90,48 +101,14 @@ class BlockHammer(Mitigation):
                                      history_scale=history_scale,
                                      rate_scale=rate_scale))
 
-    def bind(self, geometry, timing) -> None:
-        super().bind(geometry, timing)
+    def _derive_delay(self, geometry, timing) -> int:
         # A blacklisted row may sustain at most hcnt ACTs per tREFW
         # (per weighted blast unit): enforce the matching inter-ACT gap,
         # normalized by the trace-rate compression factor.
         derate = blast_weight_sum(max(1, self.config.blast_radius)) / 2.0
         budget = max(1, int(self.config.hcnt / derate))
-        self._delay = max(1, int(timing.tREFW / budget
-                                 / self.config.rate_scale))
-        self._epoch = max(1, timing.tREFW // 2)
+        return max(1, int(timing.tREFW / budget / self.config.rate_scale))
 
-    def _filter(self, addr: BankAddress) -> DualCountingBloomFilter:
-        f = self._filters.get(addr)
-        if f is None:
-            f = DualCountingBloomFilter(
-                self.config.cbf_width, self._epoch, self.config.cbf_depth)
-            self._filters[addr] = f
-        return f
-
-    def before_activate(self, addr: BankAddress, pa_row: int,
-                        cycle: int) -> int:
-        estimate = self._filter(addr).estimate(pa_row, cycle)
-        if estimate < self.config.blacklist_threshold:
-            return cycle
-        last = self._last_act.get((addr, pa_row))
-        if last is None:
-            return cycle
-        allowed = last + self._delay
-        if allowed > cycle:
-            self.throttled_acts += 1
-            self.total_delay_cycles += allowed - cycle
-            if self._event_listeners:
-                # Per throttle *evaluation* (the scheduler may probe a
-                # candidate more than once before it issues), matching
-                # the ``throttled_acts`` counter's semantics.
-                self.emit_event("throttle", addr, cycle, {
-                    "pa_row": pa_row, "delay": allowed - cycle})
-            return allowed
-        return cycle
-
-    def on_activate(self, addr: BankAddress, pa_row: int, da_row: int,
-                    cycle: int):
-        self._filter(addr).observe(pa_row, cycle)
-        self._last_act[(addr, pa_row)] = cycle
-        return None
+    @property
+    def _delay(self) -> Optional[int]:
+        return self.policy.delay

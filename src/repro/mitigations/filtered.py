@@ -22,7 +22,8 @@ from typing import Dict
 
 from repro.dram.device import BankAddress
 from repro.mitigations.base import ActOutcome, Mitigation, RfmOutcome
-from repro.mitigations.trackers import DualCountingBloomFilter
+from repro.mitigations.compose import Tracker
+from repro.spec.registry import TRACKERS
 
 
 class FilteredRfm(Mitigation):
@@ -41,7 +42,7 @@ class FilteredRfm(Mitigation):
         self.cbf_width = cbf_width
         self.cbf_depth = cbf_depth
         self.elide_rfm = elide_rfm
-        self._filters: Dict[BankAddress, DualCountingBloomFilter] = {}
+        self._filters: Dict[BankAddress, Tracker] = {}
         self._hot: Dict[BankAddress, int] = {}
         self.rfms_filtered = 0
         self.rfms_passed = 0
@@ -97,11 +98,14 @@ class FilteredRfm(Mitigation):
 
     # -- the filter ------------------------------------------------------------------
 
-    def _filter(self, addr: BankAddress) -> DualCountingBloomFilter:
+    def _filter(self, addr: BankAddress) -> Tracker:
         f = self._filters.get(addr)
         if f is None:
-            f = DualCountingBloomFilter(self.cbf_width, self._epoch,
-                                        self.cbf_depth)
+            # Built through the tracker registry so the filter rides the
+            # same protocol (and telemetry surface) as scheme trackers.
+            f = TRACKERS.build("dcbf", width=self.cbf_width,
+                               epoch_cycles=self._epoch,
+                               depth=self.cbf_depth)
             self._filters[addr] = f
         return f
 

@@ -1,6 +1,8 @@
 """Graphene: Misra-Gries-tracked TRR at the memory controller
 (Park et al., MICRO 2020).
 
+Composition: ``misra-gries x trr-threshold x bank/ref-window``.
+
 Each bank has a Misra-Gries heavy-hitters table; whenever a row's
 estimated count crosses the TRR threshold, the controller immediately
 refreshes the row's neighbours and resets the entry.  Unlike the
@@ -14,19 +16,23 @@ figures.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Optional
 
-from repro.dram.device import BankAddress
-from repro.mitigations.base import ActOutcome, Mitigation
+from repro.mitigations.compose import (
+    ComposedMitigation,
+    RefWindowResetMixin,
+    Scope,
+    ThresholdTrr,
+    TrackerSpec,
+)
 from repro.rowhammer.model import blast_weight_sum
 
 
-class Graphene(Mitigation):
+class Graphene(RefWindowResetMixin, ComposedMitigation):
     """MC-side Misra-Gries TRR."""
 
     def __init__(self, hcnt: int, blast_radius: int = 1,
-                 table_entries: int = None):
-        super().__init__()
+                 table_entries: Optional[int] = None):
         if hcnt <= 4:
             raise ValueError("hcnt too small to derive a TRR threshold")
         self.blast_radius = max(1, blast_radius)
@@ -37,38 +43,18 @@ class Graphene(Mitigation):
         # Misra-Gries guarantee needs one entry per threshold-sized slice
         # of the worst-case ACTs in a refresh window; Graphene sizes the
         # table as acts_per_trefw / threshold.  We default to that bound
-        # for a tRC-limited bank.
+        # for a tRC-limited bank (resolved at bind, see below).
         self.table_entries = table_entries
-        self._tables: Dict[BankAddress, "MisraGries"] = {}
-        self.trr_count = 0
-        self.name = f"Graphene-h{hcnt}"
+        super().__init__(
+            tracker=TrackerSpec.of(
+                "misra-gries", entries=lambda g, t: self.table_entries),
+            policy=ThresholdTrr(self.threshold, self.blast_radius),
+            scope=Scope(per="bank", reset="ref-window"),
+            name=f"Graphene-h{hcnt}",
+        )
 
     def bind(self, geometry, timing) -> None:
         super().bind(geometry, timing)
         if self.table_entries is None:
             acts_per_window = timing.tREFW // timing.tRC
             self.table_entries = max(16, acts_per_window // self.threshold)
-
-    def on_activate(self, addr: BankAddress, pa_row: int, da_row: int,
-                    cycle: int) -> ActOutcome:
-        from repro.mitigations.trackers import MisraGries
-        table = self._tables.setdefault(
-            addr, MisraGries(self.table_entries))
-        estimate = table.observe(da_row)
-        if estimate < self.threshold:
-            return ActOutcome()
-        table.reset_key(da_row)
-        layout = self.geometry.layout
-        victims = [row for row, _d in
-                   layout.da_neighbors(da_row, self.blast_radius)]
-        self.trr_count += len(victims)
-        return ActOutcome(trr_rows=victims)
-
-    def on_ref(self, addr: BankAddress, lo_row: int, hi_row: int,
-               cycle: int) -> None:
-        # A refresh window boundary resets the threat; clearing per-REF
-        # segment would be more precise but strictly weaker for the
-        # attacker, so Graphene clears its table once per full window
-        # sweep (approximated by clearing when the sweep wraps to row 0).
-        if lo_row == 0 and addr in self._tables:
-            self._tables[addr].clear()

@@ -1,5 +1,7 @@
 """Mithril: CbS-tracked TRR over the RFM interface (Kim et al., HPCA 2022).
 
+Composition: ``counter-summary x rfm-trr-hottest x bank``.
+
 Each bank carries a Counter-based Summary (CbS) table; on every RFM the
 device refreshes the neighbours of the hottest tracked row and settles
 its counter to the table floor.  Mithril trades table size against
@@ -17,20 +19,20 @@ blast-derated RAAIMT.
 
 from __future__ import annotations
 
-from typing import Dict
-
-from repro.dram.device import BankAddress
-from repro.mitigations.base import Mitigation, RfmOutcome
-from repro.mitigations.trackers import CounterSummary
+from repro.mitigations.compose import (
+    ComposedMitigation,
+    RfmTrrHottest,
+    Scope,
+    TrackerSpec,
+)
 from repro.rowhammer.model import blast_weight_sum
 
 
-class Mithril(Mitigation):
+class Mithril(ComposedMitigation):
     """CbS tracker + RFM-hosted TRR."""
 
     def __init__(self, raaimt: int, table_entries: int,
                  blast_radius: int = 1, variant: str = "custom"):
-        super().__init__()
         if raaimt <= 0:
             raise ValueError("raaimt must be positive")
         if table_entries <= 0:
@@ -39,10 +41,13 @@ class Mithril(Mitigation):
         self.table_entries = table_entries
         self.blast_radius = max(1, blast_radius)
         self.variant = variant
-        self._tables: Dict[BankAddress, CounterSummary] = {}
-        self.trr_count = 0
-        self.name = (f"Mithril-{variant}-r{raaimt}-e{table_entries}"
-                     f"-b{self.blast_radius}")
+        super().__init__(
+            tracker=TrackerSpec.of("counter-summary", entries=table_entries),
+            policy=RfmTrrHottest(self.blast_radius),
+            scope=Scope(per="bank"),
+            name=(f"Mithril-{variant}-r{raaimt}-e{table_entries}"
+                  f"-b{self.blast_radius}"),
+        )
 
     @property
     def uses_rfm(self) -> bool:
@@ -56,30 +61,6 @@ class Mithril(Mitigation):
         """CAM footprint per bank: ~(row address + counter) per entry."""
         bits_per_entry = 18 + 22   # 18b row tag + 22b counter, as in the paper's sizing
         return self.table_entries * bits_per_entry / 8 / 1024
-
-    def on_activate(self, addr: BankAddress, pa_row: int, da_row: int,
-                    cycle: int):
-        table = self._tables.setdefault(
-            addr, CounterSummary(self.table_entries))
-        table.observe(da_row)
-        return None
-
-    def on_rfm(self, addr: BankAddress, cycle: int) -> RfmOutcome:
-        self._require_bound()
-        table = self._tables.get(addr)
-        if table is None:
-            return RfmOutcome(duration=0)
-        hottest = table.hottest()
-        if hottest is None:
-            return RfmOutcome(duration=0)
-        target, _count = hottest
-        table.settle(target)
-        layout = self.geometry.layout
-        victims = [row for row, _d in
-                   layout.da_neighbors(target, self.blast_radius)]
-        self.trr_count += len(victims)
-        duration = len(victims) * self.timing.tRC
-        return RfmOutcome(duration=duration, refreshed_rows=victims)
 
 
 def _blast_derate(raaimt: int, blast_radius: int) -> int:

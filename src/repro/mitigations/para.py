@@ -1,5 +1,8 @@
 """PARA: probabilistic adjacent-row activation (Kim et al., ISCA 2014).
 
+Composition: ``none x trr-probabilistic x bank`` -- the degenerate
+corner of the tracker/policy/scope space: no tracker at all.
+
 Stateless TRR: on every ACT, with probability ``p`` the device refreshes
 one neighbour of the activated row (a side chosen at random).  With
 blast-aware extension, all rows within the blast radius on the chosen
@@ -13,9 +16,14 @@ pick ``p`` per ``H_cnt``.
 
 from __future__ import annotations
 
+from typing import Optional
 
-from repro.dram.device import BankAddress
-from repro.mitigations.base import ActOutcome, Mitigation
+from repro.mitigations.compose import (
+    ComposedMitigation,
+    ProbabilisticTrr,
+    Scope,
+    TrackerSpec,
+)
 from repro.utils.rng import RandomSource, SystemRng
 
 
@@ -34,35 +42,17 @@ def para_probability(hcnt: int, target_failure: float = 1e-4) -> float:
     return min(1.0, max(p, 1e-9))
 
 
-class Para(Mitigation):
+class Para(ComposedMitigation):
     """Stand-alone PARA (per-ACT sampling, no RFM)."""
 
     def __init__(self, probability: float, blast_radius: int = 1,
-                 rng: RandomSource = None):
-        super().__init__()
-        if not 0.0 <= probability <= 1.0:
-            raise ValueError("probability must be within [0, 1]")
-        if blast_radius < 1:
-            raise ValueError("blast_radius must be >= 1")
+                 rng: Optional[RandomSource] = None):
         self.probability = probability
         self.blast_radius = blast_radius
         self.rng = rng or SystemRng(0xBA5E)
-        self.trr_count = 0
-        self.name = f"PARA-p{probability:.2g}"
-
-    def on_activate(self, addr: BankAddress, pa_row: int, da_row: int,
-                    cycle: int) -> ActOutcome:
-        # Bernoulli(p) trial using 24 fresh random bits.
-        draw = self.rng.next_bits(24)
-        if draw >= int(self.probability * (1 << 24)):
-            return ActOutcome()
-        side = 1 if self.rng.next_bits(1) else -1
-        layout = self.geometry.layout
-        lo, hi = layout.da_range(layout.subarray_of_da(da_row))
-        victims = []
-        for d in range(1, self.blast_radius + 1):
-            row = da_row + side * d
-            if lo <= row < hi:
-                victims.append(row)
-        self.trr_count += len(victims)
-        return ActOutcome(trr_rows=victims)
+        super().__init__(
+            tracker=TrackerSpec.of("none"),
+            policy=ProbabilisticTrr(probability, blast_radius),
+            scope=Scope(per="bank"),
+            name=f"PARA-p{probability:.2g}",
+        )

@@ -1,5 +1,7 @@
 """PARFM: PARA hosted on the RFM interface (paper Section VII-C).
 
+Composition: ``recent-history x rfm-trr-sampled x bank``.
+
 On every RFM command the device refreshes the neighbours of one row
 sampled uniformly from the RAAIMT rows activated since the previous RFM.
 It is the natural "what if we only had RFM + randomness" baseline: the
@@ -18,11 +20,14 @@ the same 1%/year budget the paper uses.
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, Dict
+from typing import Optional
 
-from repro.dram.device import BankAddress
-from repro.mitigations.base import Mitigation, RfmOutcome
+from repro.mitigations.compose import (
+    ComposedMitigation,
+    RfmTrrSampled,
+    Scope,
+    TrackerSpec,
+)
 from repro.rowhammer.model import blast_weight_sum
 from repro.utils.rng import RandomSource, SystemRng
 
@@ -50,12 +55,11 @@ def parfm_raaimt(hcnt: int, blast_radius: int = 1) -> int:
     return max(1, int(base * scale))
 
 
-class Parfm(Mitigation):
+class Parfm(ComposedMitigation):
     """PARA-with-RFM: TRR on a sampled recent aggressor at every RFM."""
 
     def __init__(self, raaimt: int, blast_radius: int = 1,
-                 rng: RandomSource = None):
-        super().__init__()
+                 rng: Optional[RandomSource] = None):
         if raaimt <= 0:
             raise ValueError("raaimt must be positive")
         if blast_radius < 1:
@@ -63,13 +67,16 @@ class Parfm(Mitigation):
         self._raaimt = raaimt
         self.blast_radius = blast_radius
         self.rng = rng or SystemRng(0x9A7F)
-        self._recent: Dict[BankAddress, Deque[int]] = {}
-        self.trr_count = 0
-        self.name = f"PARFM-r{raaimt}-b{blast_radius}"
+        super().__init__(
+            tracker=TrackerSpec.of("recent-history", depth=raaimt),
+            policy=RfmTrrSampled(blast_radius),
+            scope=Scope(per="bank"),
+            name=f"PARFM-r{raaimt}-b{blast_radius}",
+        )
 
     @classmethod
     def for_hcnt(cls, hcnt: int, blast_radius: int = 1,
-                 rng: RandomSource = None) -> "Parfm":
+                 rng: Optional[RandomSource] = None) -> "Parfm":
         return cls(parfm_raaimt(hcnt, blast_radius), blast_radius, rng)
 
     @property
@@ -79,23 +86,3 @@ class Parfm(Mitigation):
     @property
     def raaimt(self) -> int:
         return self._raaimt
-
-    def on_activate(self, addr: BankAddress, pa_row: int, da_row: int,
-                    cycle: int):
-        history = self._recent.setdefault(
-            addr, deque(maxlen=self._raaimt))
-        history.append(da_row)
-        return None
-
-    def on_rfm(self, addr: BankAddress, cycle: int) -> RfmOutcome:
-        self._require_bound()
-        history = self._recent.get(addr)
-        if not history:
-            return RfmOutcome(duration=0)
-        target = history[self.rng.randrange(len(history))]
-        layout = self.geometry.layout
-        victims = [row for row, _d in
-                   layout.da_neighbors(target, self.blast_radius)]
-        self.trr_count += len(victims)
-        duration = len(victims) * self.timing.tRC
-        return RfmOutcome(duration=duration, refreshed_rows=victims)

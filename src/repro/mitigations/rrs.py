@@ -1,5 +1,9 @@
 """Randomized Row-Swap (Saileshwar et al., ASPLOS 2022).
 
+Composition: ``misra-gries x row-swap x bank`` -- with the swap policy
+(and its indirection-table state) defined here, next to the scheme: the
+one-file pattern a new action-policy mitigation follows.
+
 The state-of-the-art row-shuffle *competitor* to SHADOW: a Misra-Gries
 tracker at the MC samples hot rows; when a row's count crosses the swap
 threshold (the paper favourably grants RRS ``H_cnt / 6``), the MC swaps
@@ -15,11 +19,17 @@ mechanism behind RRS's collapse in Figure 11.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.dram.device import BankAddress
-from repro.mitigations.base import ActOutcome, Mitigation
-from repro.mitigations.trackers import MisraGries
+from repro.mitigations.base import ActOutcome
+from repro.mitigations.compose import (
+    ActionPolicy,
+    ComposedMitigation,
+    Scope,
+    TrackerSpec,
+)
+from repro.spec.registry import POLICIES
 from repro.utils.rng import RandomSource, SystemRng
 
 
@@ -30,7 +40,7 @@ class RrsConfig:
     hcnt: int
     swap_latency_ns: float = 4000.0   # paper Section III-A: >= 4 us
     threshold_divisor: int = 6        # paper Section VII-C: hcnt/6
-    table_entries: int = None
+    table_entries: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.hcnt <= self.threshold_divisor:
@@ -66,79 +76,89 @@ class _BankIndirection:
         return len(self._forward)
 
 
-class RandomizedRowSwap(Mitigation):
-    """Misra-Gries sampling + channel-blocking row swaps."""
+@POLICIES.register("row-swap")
+class RowSwapPolicy(ActionPolicy):
+    """Swap a threshold-crossing row with a uniformly random partner
+    through the bank's indirection table, blocking the channel for the
+    two-row stream.  Per-scope state is the indirection table."""
 
-    def __init__(self, config: RrsConfig, rng: RandomSource = None):
-        super().__init__()
-        self.config = config
-        self.rng = rng or SystemRng(0x5A5A)
-        self._trackers: Dict[BankAddress, MisraGries] = {}
-        self._tables: Dict[BankAddress, _BankIndirection] = {}
-        self.swaps = 0
-        self.name = f"RRS-h{config.hcnt}"
-        self._swap_cycles = None
-        self._entries = None
+    kind = "row-swap"
 
-    @classmethod
-    def for_hcnt(cls, hcnt: int, rng: RandomSource = None) -> "RandomizedRowSwap":
-        return cls(RrsConfig(hcnt=hcnt), rng)
+    def __init__(self, threshold: int, swap_latency_ns: float = 4000.0):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = threshold
+        self.swap_latency_ns = swap_latency_ns
+        self.block_cycles: Optional[int] = None
 
-    def bind(self, geometry, timing) -> None:
-        super().bind(geometry, timing)
-        self._swap_cycles = timing.cycles(self.config.swap_latency_ns)
-        if self.config.table_entries is not None:
-            self._entries = self.config.table_entries
-        else:
-            # Misra-Gries sizing: worst-case ACTs per window / threshold.
-            acts_per_window = timing.tREFW // timing.tRC
-            self._entries = max(
-                16, acts_per_window // self.config.swap_threshold)
+    def bind(self, owner) -> None:
+        self.block_cycles = owner.timing.cycles(self.swap_latency_ns)
 
-    # -- address translation ----------------------------------------------------
+    def make_state(self, owner) -> _BankIndirection:
+        return _BankIndirection(owner.geometry.layout.identity_da)
 
-    def _table(self, addr: BankAddress) -> _BankIndirection:
-        table = self._tables.get(addr)
-        if table is None:
-            table = _BankIndirection(self.geometry.layout.identity_da)
-            self._tables[addr] = table
-        return table
-
-    def translate(self, addr: BankAddress, pa_row: int) -> int:
-        self._require_bound()
-        return self._table(addr).translate(pa_row)
-
-    def translation_generation(self, addr: BankAddress) -> int:
-        table = self._tables.get(addr)
-        return table.swap_count if table is not None else 0
-
-    # -- swap logic ---------------------------------------------------------------
-
-    def on_activate(self, addr: BankAddress, pa_row: int, da_row: int,
-                    cycle: int) -> ActOutcome:
-        tracker = self._trackers.setdefault(addr, MisraGries(self._entries))
-        estimate = tracker.observe(pa_row)
-        if estimate < self.config.swap_threshold:
+    def on_activate(self, owner, state, addr, pa_row, da_row, cycle):
+        estimate = state.tracker.observe(pa_row)
+        if estimate < self.threshold:
             return ActOutcome()
-        partner = self.rng.randrange(self.geometry.rows_per_bank)
+        partner = owner.rng.randrange(owner.geometry.rows_per_bank)
         if partner == pa_row:
-            partner = (partner + 1) % self.geometry.rows_per_bank
-        table = self._table(addr)
+            partner = (partner + 1) % owner.geometry.rows_per_bank
+        table = state.policy
         old_a, old_b = table.translate(pa_row), table.translate(partner)
         table.swap(pa_row, partner)
-        self.notify_translation_changed(addr)
-        tracker.reset_key(pa_row)
-        tracker.reset_key(partner)
-        self.swaps += 1
-        if self._event_listeners:
-            self.emit_event("swap", addr, cycle, {
+        owner.notify_translation_changed(addr)
+        state.tracker.reset_key(pa_row)
+        state.tracker.reset_key(partner)
+        owner.swaps += 1
+        if owner._event_listeners:
+            owner.emit_event("swap", addr, cycle, {
                 "pa_a": pa_row, "pa_b": partner,
                 "da_a": old_a, "da_b": old_b,
-                "block_cycles": self._swap_cycles,
+                "block_cycles": self.block_cycles,
             })
         # The swap streams both rows over the channel: both physical rows
         # end up rewritten (fault reset) and the channel blocks.
         return ActOutcome(
-            channel_block_cycles=self._swap_cycles,
+            channel_block_cycles=self.block_cycles,
             restored_rows=[old_a, old_b],
         )
+
+
+class RandomizedRowSwap(ComposedMitigation):
+    """Misra-Gries sampling + channel-blocking row swaps."""
+
+    def __init__(self, config: RrsConfig,
+                 rng: Optional[RandomSource] = None):
+        self.config = config
+        self.rng = rng or SystemRng(0x5A5A)
+        super().__init__(
+            tracker=TrackerSpec.of("misra-gries", entries=self._entries_for),
+            policy=RowSwapPolicy(config.swap_threshold,
+                                 config.swap_latency_ns),
+            scope=Scope(per="bank"),
+            name=f"RRS-h{config.hcnt}",
+        )
+        self.swaps = 0
+
+    @classmethod
+    def for_hcnt(cls, hcnt: int,
+                 rng: Optional[RandomSource] = None) -> "RandomizedRowSwap":
+        return cls(RrsConfig(hcnt=hcnt), rng)
+
+    def _entries_for(self, geometry, timing) -> int:
+        if self.config.table_entries is not None:
+            return self.config.table_entries
+        # Misra-Gries sizing: worst-case ACTs per window / threshold.
+        acts_per_window = timing.tREFW // timing.tRC
+        return max(16, acts_per_window // self.config.swap_threshold)
+
+    # -- address translation ----------------------------------------------------
+
+    def translate(self, addr: BankAddress, pa_row: int) -> int:
+        self._require_bound()
+        return self._state(addr).policy.translate(pa_row)
+
+    def translation_generation(self, addr: BankAddress) -> int:
+        state = self._peek_state(addr)
+        return state.policy.swap_count if state is not None else 0

@@ -10,6 +10,11 @@
 * :class:`CountMinSketch` -- the random-projection counter underlying
   the Bloom-filter variants, exposed for the RFM-filtering extension
   (paper Section VIII).
+* :class:`MintSampler` -- MINT's single-entry window sampler
+  [Qureshi MICRO'24]: O(1) storage, uniform over the mitigation window.
+* :class:`ResilientMisraGries` -- a DAPPER-style performance-attack-
+  resilient Misra-Gries variant [Woo & Nair '25]: decisions use the
+  provable lower bound and window resets decay instead of clearing.
 """
 
 from __future__ import annotations
@@ -114,6 +119,93 @@ class CounterSummary:
 
     def clear(self) -> None:
         self.counts.clear()
+
+
+class MintSampler:
+    """MINT's minimalist in-DRAM sampler: one entry per bank.
+
+    At the start of each mitigation window (the RAAIMT activations
+    between two RFMs) the sampler draws a uniform slot ``1..window`` and
+    captures the row of exactly that activation; the window's mitigation
+    then targets the captured row.  Every activation in the window has
+    the same ``1/window`` chance of being picked -- the same distribution
+    PARFM gets from a ``window``-deep history, with O(1) storage.
+
+    The slot is drawn lazily on the window's *first* activation, so an
+    idle bank consumes no randomness.
+    """
+
+    def __init__(self, window: int, rng):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self.rng = rng
+        self.windows = 0
+        self._position = 0
+        self._select: Optional[int] = None
+        self._captured: Optional[int] = None
+
+    def observe(self, key: int) -> None:
+        if self._select is None:
+            self._select = self.rng.randrange(self.window) + 1
+            self.windows += 1
+        self._position += 1
+        if self._position == self._select:
+            self._captured = key
+
+    def sample(self) -> Optional[int]:
+        """The captured row of the current window (None while unarmed
+        or before the selected slot has passed)."""
+        return self._captured
+
+    def clear(self) -> None:
+        """End the window: forget the capture, re-arm for the next."""
+        self._position = 0
+        self._select = None
+        self._captured = None
+
+
+class ResilientMisraGries(MisraGries):
+    """DAPPER-style performance-attack-resilient Misra-Gries.
+
+    Two hardenings over the plain tracker, aimed at adversaries that
+    attack the *tracker* (to induce spurious mitigations and tank
+    performance) rather than the DRAM:
+
+    * decisions use :meth:`lower_bound` -- the provable true-count floor
+      ``count - spill`` -- so thrashing the table inflates ``spill`` but
+      can never promote a cold row into a mitigation target;
+    * :meth:`halve` decays counters and spill at the window boundary
+      instead of clearing, so forcing resets cannot launder a hot row's
+      accumulated history.
+    """
+
+    def lower_bound(self, key: int) -> int:
+        """Provable minimum true count since the key's last reset."""
+        count = self.counts.get(key)
+        if count is None:
+            return 0
+        return max(0, count - self.spill)
+
+    def hottest(self) -> Optional[Tuple[int, int]]:
+        """The max entry with its lower bound; None when nothing is
+        provably hot (mitigating then would be attacker-steerable)."""
+        entry = self.max_entry()
+        if entry is None:
+            return None
+        key, count = entry
+        bound = count - self.spill
+        if bound <= 0:
+            return None
+        return key, bound
+
+    def halve(self) -> None:
+        """Window-boundary decay: halve every counter and the spill,
+        dropping entries that sink to the new floor."""
+        self.spill //= 2
+        halved = {key: count // 2 for key, count in self.counts.items()}
+        self.counts = {key: count for key, count in halved.items()
+                       if count > self.spill}
 
 
 class CountMinSketch:

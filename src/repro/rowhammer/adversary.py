@@ -19,7 +19,7 @@ SHADOW mechanism and the disturbance model.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.dram.subarray import SubarrayLayout
 from repro.utils.rng import RandomSource
@@ -69,7 +69,8 @@ class ScenarioIIIAttacker:
     name = "scenario-III"
 
     def __init__(self, layout: SubarrayLayout, n_aggr: int,
-                 rng: RandomSource, subarrays: List[int] = None):
+                 rng: RandomSource,
+                 subarrays: Optional[List[int]] = None):
         if n_aggr <= 0:
             raise ValueError("n_aggr must be positive")
         if subarrays is None:

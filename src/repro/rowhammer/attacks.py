@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence
+from typing import Iterator, List, Optional, Sequence
 
 
 @dataclass(frozen=True)
@@ -43,7 +43,8 @@ class AttackPattern:
         return len(set(self.aggressor_rows))
 
 
-def single_sided(target_row: int, partner_row: int = None) -> AttackPattern:
+def single_sided(target_row: int,
+                 partner_row: Optional[int] = None) -> AttackPattern:
     """Hammer one row (plus a far 'dummy' row to defeat the row buffer).
 
     The partner row forces a row-buffer conflict so every access is an

@@ -22,7 +22,15 @@ from pathlib import Path
 from repro.core import Shadow, ShadowConfig
 from repro.dram.device import DramGeometry
 from repro.dram.subarray import SubarrayLayout
-from repro.mitigations import BlockHammer, NoMitigation, RandomizedRowSwap
+from repro.mitigations import (
+    BlockHammer,
+    Graphene,
+    Mithril,
+    NoMitigation,
+    Para,
+    Parfm,
+    RandomizedRowSwap,
+)
 from repro.sim import System, SystemConfig
 from repro.utils.rng import SystemRng
 from repro.workloads.trace import WorkloadProfile
@@ -58,10 +66,22 @@ def make_mitigation(scheme: str):
         return RandomizedRowSwap.for_hcnt(12, rng=SystemRng(99))
     if scheme == "blockhammer":
         return BlockHammer.for_hcnt(16, rate_scale=64.0)
+    if scheme == "graphene":
+        # Threshold 2: the MC-side TRR fires constantly on hot rows.
+        return Graphene(hcnt=8)
+    if scheme == "mithril":
+        # RAAIMT offset from parfm's 16 so the two RFM TRR schemes
+        # produce distinct command cadences (stream-distinctness check).
+        return Mithril(raaimt=12, table_entries=8, blast_radius=2)
+    if scheme == "para":
+        return Para(probability=0.05, rng=SystemRng(71))
+    if scheme == "parfm":
+        return Parfm(raaimt=16, rng=SystemRng(43))
     raise ValueError(f"unknown golden scheme {scheme!r}")
 
 
-SCHEMES = ("none", "shadow", "rrs", "blockhammer")
+SCHEMES = ("none", "shadow", "rrs", "blockhammer", "graphene", "mithril",
+           "para", "parfm")
 
 
 def build_system(scheme: str):
@@ -140,6 +160,8 @@ def scenario_record(scheme: str) -> dict:
     elif scheme == "blockhammer":
         record["throttled_acts"] = mitigation.throttled_acts
         record["total_delay_cycles"] = mitigation.total_delay_cycles
+    elif scheme in ("graphene", "mithril", "para", "parfm"):
+        record["trr_count"] = mitigation.trr_count
     return record
 
 

@@ -20,7 +20,16 @@ class TestProfiles:
     def test_expected_profile_set(self):
         assert set(BENCH_PROFILES) == {
             "hit-heavy", "conflict-heavy", "shadow-rfm",
-            "refresh-dominated", "idle-heavy"}
+            "refresh-dominated", "idle-heavy", "tracker-heavy"}
+
+    def test_tracker_heavy_drives_a_composed_scheme(self):
+        # The adversarial tracker profile must exercise a composed
+        # tracker x policy x scope scheme on miss-heavy traffic, so the
+        # gate covers tracker-bound scheduling.
+        from repro.mitigations import ComposedMitigation
+        profile = BENCH_PROFILES["tracker-heavy"]
+        assert isinstance(profile.scheme.build(), ComposedMitigation)
+        assert profile.workload.row_buffer_locality < 0.2
 
     def test_idle_heavy_is_sparse(self):
         # The point of the profile: many threads, low per-thread
@@ -141,14 +150,15 @@ class TestOverheadMode:
 
 class TestCommittedReport:
     def test_bench_pr2_report_shape(self):
-        # PR2 predates the idle-heavy profile; its report pins the
-        # original four.
+        # PR2 predates the idle-heavy and tracker-heavy profiles; its
+        # report pins the original four.
         report = load_report(
             Path(__file__).resolve().parents[1] / "BENCH_PR2.json")
         assert report["schema"] == SCHEMA
         for variant in ("quick", "full"):
             profiles = report["variants"][variant]
-            assert set(profiles) == set(BENCH_PROFILES) - {"idle-heavy"}
+            assert set(profiles) == \
+                set(BENCH_PROFILES) - {"idle-heavy", "tracker-heavy"}
             for entry in profiles.values():
                 assert entry["cycles_per_s"] > 0
         speedup = report["speedup_full_vs_pre_pr"]
@@ -160,13 +170,27 @@ class TestCommittedReport:
         assert report["schema"] == SCHEMA
         for variant in ("quick", "full"):
             profiles = report["variants"][variant]
-            assert set(profiles) == set(BENCH_PROFILES)
+            assert set(profiles) == \
+                set(BENCH_PROFILES) - {"tracker-heavy"}
             for entry in profiles.values():
                 assert entry["cycles_per_s"] > 0
         # pre_pr holds the PR2-era loop's numbers for the profiles that
         # existed then; idle-heavy is new in this report.
         pre = report["pre_pr"]["full"]
-        assert set(pre) == set(BENCH_PROFILES) - {"idle-heavy"}
+        assert set(pre) == \
+            set(BENCH_PROFILES) - {"idle-heavy", "tracker-heavy"}
         speedup = report["speedup_full_vs_pre_pr"]
         # The headline acceptance number of the event-horizon rewrite.
         assert speedup["refresh-dominated"] >= 2.0
+
+    def test_bench_pr9_report_shape(self):
+        # PR9 is the current CI gate baseline: every profile, including
+        # the adversarial tracker-heavy one, in both variants.
+        report = load_report(
+            Path(__file__).resolve().parents[1] / "BENCH_PR9.json")
+        assert report["schema"] == SCHEMA
+        for variant in ("quick", "full"):
+            profiles = report["variants"][variant]
+            assert set(profiles) == set(BENCH_PROFILES)
+            for entry in profiles.values():
+                assert entry["cycles_per_s"] > 0
