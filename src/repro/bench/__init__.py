@@ -15,6 +15,7 @@ from repro.bench.harness import (
     check_regression,
     load_report,
     run_bench,
+    run_fault_overhead,
     run_overhead,
     write_report,
 )
@@ -26,6 +27,7 @@ __all__ = [
     "check_regression",
     "load_report",
     "run_bench",
+    "run_fault_overhead",
     "run_overhead",
     "write_report",
 ]

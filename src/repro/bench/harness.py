@@ -23,7 +23,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from repro.sim import System, SystemConfig
-from repro.spec import SchemeSpec
+from repro.spec import FaultSpec, SchemeSpec
 from repro.workloads.trace import WorkloadProfile
 
 SCHEMA = "shadow-repro-bench/1"
@@ -85,15 +85,22 @@ class BenchProfile:
     scheme: SchemeSpec = field(
         default_factory=lambda: SchemeSpec("none"))
     enable_refresh: bool = True
+    #: Optional in-loop fault injection (a declarative FaultSpec); the
+    #: injector rides the controller's observer seam and never perturbs
+    #: the simulated outcome, only wall time.
+    faults: Optional[FaultSpec] = None
 
-    def build(self, quick: bool, obs=None) -> System:
+    def build(self, quick: bool, obs=None, observer=None) -> System:
         requests = self.requests_per_thread
         if quick:
             requests = max(64, requests // QUICK_DIVISOR)
         config = SystemConfig(requests_per_thread=requests, seed=self.seed,
                               enable_refresh=self.enable_refresh)
+        if observer is None and self.faults is not None:
+            observer = self.faults.build()
         return System([self.workload] * self.threads,
-                      self.scheme.build(), config=config, obs=obs)
+                      self.scheme.build(), observer=observer,
+                      config=config, obs=obs)
 
 
 BENCH_PROFILES: Dict[str, BenchProfile] = {
@@ -134,6 +141,14 @@ BENCH_PROFILES: Dict[str, BenchProfile] = {
             workload=_CONFLICT_HEAVY, threads=4,
             requests_per_thread=3000, seed=606,
             scheme=SchemeSpec("dapper", (("hcnt", 1024),))),
+        BenchProfile(
+            name="faults-on",
+            description="row-miss traffic with in-loop fault injection "
+                        "at a tiny threshold: per-ACT disturbance "
+                        "accumulation plus live ECC/recovery work",
+            workload=_CONFLICT_HEAVY, threads=4,
+            requests_per_thread=3000, seed=707,
+            faults=FaultSpec(hcnt=64, policy="retire", seed=707)),
     )
 }
 
@@ -308,63 +323,122 @@ def run_overhead(names: Optional[List[str]] = None, quick: bool = False,
             def factory():
                 return Observability.in_memory(sample_interval=10_000)
 
-        def block(inner, obs_factory=None):
-            """One timed region of ``inner`` back-to-back fresh runs."""
-            pairs = []
-            for _ in range(inner):
-                obs = obs_factory() if obs_factory is not None else None
-                pairs.append((profile.build(quick, obs=obs), obs))
-            t0 = time.perf_counter()
-            result = None
-            for system, _obs in pairs:
-                result = system.run()
-            wall = time.perf_counter() - t0
-            for _system, obs in pairs:
-                if obs is not None:
-                    obs.close()
-            return wall, result
+        def make_on(profile=profile, factory=factory):
+            obs = factory()
+            return profile.build(quick, obs=obs), obs
 
-        probe_wall, probe = block(1)
-        inner = min(_GATE_MAX_INNER, max(1, round(
-            _GATE_BLOCK_SECONDS / max(probe_wall, 1e-6))))
-        rounds = max(repeats, _GATE_ROUNDS)
-
-        def measure():
-            off_walls, on_walls, result = [], [], None
-            for r in range(rounds):
-                # Alternate leg order so within-round effects (GC debt,
-                # a load burst spanning one pair) don't bias one leg.
-                if r % 2 == 0:
-                    wall, result = block(inner, factory)
-                    on_walls.append(wall)
-                    off_walls.append(block(inner)[0])
-                else:
-                    off_walls.append(block(inner)[0])
-                    wall, result = block(inner, factory)
-                    on_walls.append(wall)
-            return sorted(off_walls)[1], sorted(on_walls)[1], result
-
-        off_wall, on_wall, on_result = measure()
-        if probe.cycles != on_result.cycles:
-            raise RuntimeError(
-                f"{name}: observability changed the simulated outcome "
-                f"({probe.cycles} vs {on_result.cycles} cycles)")
-        overhead = on_wall / off_wall - 1.0
-        if retry_over is not None and overhead > retry_over:
-            off2, on2, on_result = measure()
-            if on2 / off2 < on_wall / off_wall:
-                off_wall, on_wall = off2, on2
-                overhead = on_wall / off_wall - 1.0
-        results[name] = {
-            "off": _leg_entry(off_wall, inner, probe),
-            "on": _leg_entry(on_wall, inner, on_result),
-            "overhead": round(overhead, 4),
-        }
-        if log is not None:
-            log(f"{name:>18}: off {off_wall / inner:.3f}s, on "
-                f"{on_wall / inner:.3f}s (x{inner} runs/block) "
-                f"-> {overhead:+.1%} overhead")
+        results[name] = _overhead_gate(
+            name, profile, quick, repeats, retry_over, make_on,
+            what="observability", log=log)
     return results
+
+
+def run_fault_overhead(names: Optional[List[str]] = None,
+                       quick: bool = False, repeats: int = 1,
+                       retry_over: Optional[float] = None,
+                       log=print) -> Dict[str, Dict]:
+    """Measure fault-injection overhead: each profile off vs injector on.
+
+    The "on" leg attaches a fresh :class:`~repro.faults.FaultInjector`
+    (default :class:`~repro.spec.FaultSpec`, so online disturbance
+    accumulation at the paper's Hcnt) to the controller's observer
+    seam; no other instrumentation runs, so the ratio isolates the
+    per-ACT accumulation cost.  Shares :func:`run_overhead`'s
+    interleaved-block statistics, and its probe-vs-on cycles check
+    doubles as the passivity assert: injection must never perturb the
+    simulated outcome.  Profiles that bake in their own ``faults``
+    (e.g. ``faults-on``) are excluded -- their off leg would not be
+    injection-free.
+    """
+    if names is None:
+        names = [n for n, p in BENCH_PROFILES.items() if p.faults is None]
+    unknown = sorted(set(names) - set(BENCH_PROFILES))
+    if unknown:
+        raise ValueError(f"unknown bench profiles: {unknown}; "
+                         f"choose from {sorted(BENCH_PROFILES)}")
+    baked = sorted(n for n in names if BENCH_PROFILES[n].faults is not None)
+    if baked:
+        raise ValueError(f"profiles {baked} bake in fault injection; "
+                         f"their off leg cannot be injection-free")
+    results = {}
+    for name in names:
+        profile = BENCH_PROFILES[name]
+
+        def make_on(profile=profile):
+            return profile.build(quick, observer=FaultSpec().build()), None
+
+        results[name] = _overhead_gate(
+            name, profile, quick, repeats, retry_over, make_on,
+            what="fault injection", log=log)
+    return results
+
+
+def _overhead_gate(name: str, profile: BenchProfile, quick: bool,
+                   repeats: int, retry_over: Optional[float], make_on,
+                   what: str, log) -> Dict:
+    """Interleaved on-vs-off measurement for one profile.
+
+    ``make_on()`` builds one "on"-leg run as ``(system, closeable)``
+    (closeable may be ``None``); the off leg is the bare profile.  See
+    :func:`run_overhead` for the statistics rationale.  Raises
+    ``RuntimeError`` if the on leg changes the simulated cycle count.
+    """
+    def block(inner, on=False):
+        """One timed region of ``inner`` back-to-back fresh runs."""
+        pairs = []
+        for _ in range(inner):
+            pairs.append(make_on() if on
+                         else (profile.build(quick), None))
+        t0 = time.perf_counter()
+        result = None
+        for system, _closer in pairs:
+            result = system.run()
+        wall = time.perf_counter() - t0
+        for _system, closer in pairs:
+            if closer is not None:
+                closer.close()
+        return wall, result
+
+    probe_wall, probe = block(1)
+    inner = min(_GATE_MAX_INNER, max(1, round(
+        _GATE_BLOCK_SECONDS / max(probe_wall, 1e-6))))
+    rounds = max(repeats, _GATE_ROUNDS)
+
+    def measure():
+        off_walls, on_walls, result = [], [], None
+        for r in range(rounds):
+            # Alternate leg order so within-round effects (GC debt,
+            # a load burst spanning one pair) don't bias one leg.
+            if r % 2 == 0:
+                wall, result = block(inner, on=True)
+                on_walls.append(wall)
+                off_walls.append(block(inner)[0])
+            else:
+                off_walls.append(block(inner)[0])
+                wall, result = block(inner, on=True)
+                on_walls.append(wall)
+        return sorted(off_walls)[1], sorted(on_walls)[1], result
+
+    off_wall, on_wall, on_result = measure()
+    if probe.cycles != on_result.cycles:
+        raise RuntimeError(
+            f"{name}: {what} changed the simulated outcome "
+            f"({probe.cycles} vs {on_result.cycles} cycles)")
+    overhead = on_wall / off_wall - 1.0
+    if retry_over is not None and overhead > retry_over:
+        off2, on2, on_result = measure()
+        if on2 / off2 < on_wall / off_wall:
+            off_wall, on_wall = off2, on2
+            overhead = on_wall / off_wall - 1.0
+    if log is not None:
+        log(f"{name:>18}: off {off_wall / inner:.3f}s, on "
+            f"{on_wall / inner:.3f}s (x{inner} runs/block) "
+            f"-> {overhead:+.1%} overhead")
+    return {
+        "off": _leg_entry(off_wall, inner, probe),
+        "on": _leg_entry(on_wall, inner, on_result),
+        "overhead": round(overhead, 4),
+    }
 
 
 def _leg_entry(block_wall: float, inner: int, result) -> Dict:

@@ -243,6 +243,23 @@ def cmd_bench(args) -> int:
     names = args.profiles or None
     variant = "quick" if args.quick else "full"
 
+    if args.fault_overhead:
+        from repro.bench import run_fault_overhead
+        try:
+            overhead = run_fault_overhead(names=names, quick=args.quick,
+                                          repeats=args.repeats,
+                                          retry_over=args.max_fault_overhead)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        failures = check_overhead(overhead, args.max_fault_overhead)
+        if failures:
+            for message in failures:
+                print(f"OVERHEAD: {message}", file=sys.stderr)
+            return 1
+        print(f"fault-injection overhead within "
+              f"{args.max_fault_overhead:.0%} on every profile")
+        return 0
+
     if args.overhead:
         try:
             overhead = run_overhead(names=names, quick=args.quick,
@@ -318,10 +335,29 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_redteam(args) -> int:
+    """Handle ``shadow-repro redteam`` (adversary suite x scheme zoo)."""
+    from repro.experiments import redteam
+    from repro.experiments.engine import Engine
+    from repro.experiments.report import report_failures, save_results
+    engine = Engine(jobs=args.jobs, use_cache=not args.no_cache,
+                    retries=args.retries, job_timeout=args.job_timeout,
+                    keep_going=args.keep_going)
+    report = redteam.run(args.fidelity, engine=engine, hcnt=args.hcnt,
+                         policy=args.policy, seed=args.seed,
+                         schemes=args.schemes or None,
+                         attacks=args.attacks or None)
+    report_failures(engine)
+    print(redteam.render(report))
+    print("engine:", engine.stats.summary())
+    print("saved:", save_results(f"redteam_{args.fidelity}", report))
+    return 1 if engine.failures else 0
+
+
 #: Drivers that run on the experiment engine and take its flags.
 ENGINE_EXPERIMENTS = frozenset(
     ["fig8", "fig9", "fig10", "fig11", "fig12", "ablations",
-     "scheme-matrix"])
+     "scheme-matrix", "redteam"])
 
 #: Experiment names whose driver module is not ``repro.experiments.<name>``.
 _EXPERIMENT_MODULES = {"scheme-matrix": "matrix"}
@@ -487,7 +523,7 @@ def build_parser() -> argparse.ArgumentParser:
     exp_p.add_argument("name", choices=["table2", "table3", "fig8",
                                         "fig9", "fig10", "fig11",
                                         "fig12", "ablations", "extended",
-                                        "scheme-matrix"])
+                                        "scheme-matrix", "redteam"])
     exp_p.add_argument("fidelity", nargs="?", choices=["smoke", "full"])
     exp_p.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="worker processes for engine-backed drivers "
@@ -535,7 +571,48 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="FRAC",
                          help="allowed on-vs-off slowdown with --overhead "
                               "(default 0.15)")
+    bench_p.add_argument("--fault-overhead", action="store_true",
+                         help="measure fault-injection overhead: run each "
+                              "profile with and without an in-loop "
+                              "injector, compare wall times")
+    bench_p.add_argument("--max-fault-overhead", type=float, default=0.20,
+                         metavar="FRAC",
+                         help="allowed injector-on slowdown with "
+                              "--fault-overhead (default 0.20)")
     bench_p.set_defaults(func=cmd_bench)
+
+    from repro.experiments.redteam import FULL_ATTACKS
+    from repro.spec.registry import FAULT_POLICIES
+
+    redteam_p = sub.add_parser(
+        "redteam", help="replay the adversary suite against every scheme "
+                        "with in-loop fault injection")
+    redteam_p.add_argument("fidelity", nargs="?", default="smoke",
+                           choices=["smoke", "full"],
+                           help="smoke: the none-vs-shadow discrimination "
+                                "pair; full: the whole registry zoo "
+                                "(default: smoke)")
+    redteam_p.add_argument("--hcnt", type=int, default=None,
+                           help="hammer-count threshold "
+                                "(default: 1024 smoke / 4096 full)")
+    redteam_p.add_argument("--policy", default="retire",
+                           choices=FAULT_POLICIES.names(),
+                           help="degradation policy on detected-"
+                                "uncorrectable errors (default: retire)")
+    redteam_p.add_argument("--seed", type=int, default=1,
+                           help="trace and injection seed (default: 1)")
+    redteam_p.add_argument("--schemes", nargs="*", metavar="SCHEME",
+                           help="restrict to these schemes")
+    redteam_p.add_argument("--attacks", nargs="*", choices=FULL_ATTACKS,
+                           metavar="ATTACK",
+                           help=f"restrict to these attacks (choices: "
+                                f"{', '.join(FULL_ATTACKS)})")
+    redteam_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                           help="worker processes (default: 1)")
+    redteam_p.add_argument("--no-cache", action="store_true",
+                           help="bypass the persistent result cache")
+    _add_fault_tolerance_flags(redteam_p, "for the attack grid")
+    redteam_p.set_defaults(func=cmd_redteam)
 
     return parser
 

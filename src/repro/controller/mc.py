@@ -164,6 +164,12 @@ class MemoryController:
         #: only when the mitigation overrides the base no-op.
         self._acts_hook = (type(mitigation).on_activate
                            is not Mitigation.on_activate)
+        #: Same zero-overhead gate for the fault-injection observer: the
+        #: per-ACT notification is a pre-bound method (or None), so runs
+        #: without an observer pay one ``is not None`` test and nothing
+        #: else -- the golden command streams stay byte-identical.
+        self._observer_activate = (
+            self.observer.on_activate if self.observer is not None else None)
 
         scale = mitigation.refresh_interval_scale
         trefi = max(1, int(device.timing.tREFI * scale))
@@ -790,8 +796,9 @@ class MemoryController:
             self._tbuf.append(("X", ctx.channel, ctx.track, "ACT",
                                "cmd", cycle, self._dur_act,
                                {"row": da_row}))
-        if self.observer is not None:
-            self.observer.on_activate(addr, da_row, cycle)
+        observer_activate = self._observer_activate
+        if observer_activate is not None:
+            observer_activate(addr, da_row, cycle)
         if self._acts_hook:
             outcome = self.mitigation.on_activate(
                 addr, request.location.row, da_row, cycle)

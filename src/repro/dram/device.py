@@ -20,6 +20,16 @@ class BankAddress:
     rank: int
     bank: int
 
+    def __post_init__(self) -> None:
+        # Addresses key the hottest dicts in the simulator (mitigation
+        # trackers, disturbance counters); the generated dataclass hash
+        # rebuilds a field tuple on every lookup, so pin it once.
+        object.__setattr__(
+            self, "_hash", hash((self.channel, self.rank, self.bank)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
 
 @dataclass(frozen=True)
 class DramGeometry:

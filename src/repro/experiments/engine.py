@@ -77,7 +77,7 @@ from repro.experiments.schemes import (
 from repro.obs import MetricRegistry
 from repro.sim.metrics import relative_weighted_speedup
 from repro.sim.system import System, SystemConfig, SystemResult
-from repro.spec import SchemeSpec, scheme_spec
+from repro.spec import FaultSpec, SchemeSpec, scheme_spec
 from repro.utils.cache import DEFAULT_CACHE_DIR, ResultCache, spec_digest
 from repro.workloads.trace import WorkloadProfile
 
@@ -115,11 +115,18 @@ def archsim_scheme_specs(hcnt: int) -> Dict[str, SchemeSpec]:
 
 @dataclass(frozen=True, eq=False)
 class Job:
-    """One independent simulation: profiles x scheme x configuration."""
+    """One independent simulation: profiles x scheme x configuration.
+
+    ``faults`` optionally attaches a fault-injection observer
+    (:class:`~repro.spec.FaultSpec`) to the run.  The observer is
+    passive -- it never perturbs timing -- but its report becomes part
+    of the result, so it participates in the cache key.
+    """
 
     profiles: Tuple[WorkloadProfile, ...]
     scheme: SchemeSpec
     config: SystemConfig
+    faults: Optional[FaultSpec] = None
 
     def __post_init__(self) -> None:
         if not self.profiles:
@@ -128,11 +135,16 @@ class Job:
     @cached_property
     def spec(self) -> Dict:
         """The JSON-able cache key (identity) of this job."""
-        return {
+        spec = {
             "profiles": [dataclasses.asdict(p) for p in self.profiles],
             "scheme": self.scheme.payload(),
             "config": dataclasses.asdict(self.config),
         }
+        # Only fault-injection jobs carry the key, so every job written
+        # before the field existed keeps its historical cache identity.
+        if self.faults is not None:
+            spec["faults"] = self.faults.to_dict()
+        return spec
 
     @cached_property
     def _identity(self) -> str:
@@ -182,6 +194,10 @@ class JobResult:
     #: Defaults to ``None`` so cache entries written before this field
     #: existed still deserialise.
     metrics: Optional[Dict] = None
+    #: Fault-injection report (``FaultInjector.report()``) when the job
+    #: carried a ``FaultSpec``; ``None`` (and absent from old cache
+    #: entries) otherwise.
+    faults: Optional[Dict] = None
 
     @property
     def finish_ns(self) -> List[float]:
@@ -189,7 +205,8 @@ class JobResult:
 
     @classmethod
     def from_system_result(cls, result: SystemResult,
-                           metrics: Optional[Dict] = None) -> "JobResult":
+                           metrics: Optional[Dict] = None,
+                           faults: Optional[Dict] = None) -> "JobResult":
         stats = result.stats
         return cls(
             cycles=result.cycles,
@@ -209,6 +226,7 @@ class JobResult:
             row_conflicts=stats.row_conflicts,
             extra_act_cycles=stats.extra_act_cycles,
             metrics=metrics,
+            faults=faults,
         )
 
     def to_dict(self) -> Dict:
@@ -247,10 +265,15 @@ def _execute(job: Job) -> Dict:
     from repro.obs import Observability
     _maybe_inject_fault(job)
     obs = Observability(metrics=True)
+    observer = job.faults.build() if job.faults is not None else None
+    if observer is not None:
+        observer.attach_obs(obs)
     system = System(list(job.profiles), job.scheme.build(),
-                    config=job.config, obs=obs)
+                    observer=observer, config=job.config, obs=obs)
     result = system.run()
-    return JobResult.from_system_result(result, metrics=obs.summary).to_dict()
+    faults = observer.report() if observer is not None else None
+    return JobResult.from_system_result(
+        result, metrics=obs.summary, faults=faults).to_dict()
 
 
 # -- failures ----------------------------------------------------------------------

@@ -1,0 +1,76 @@
+"""Fault injection and integrity verification (``repro.faults``).
+
+The subsystem turns the analytic threat model into end-to-end
+experiments: the timing simulator's observer seam drives a
+:class:`~repro.faults.inject.FaultInjector` that accumulates DA-space
+disturbance online, injects concrete per-row bit flips past ``H_cnt``,
+classifies them through a SEC-DED ECC model
+(:mod:`repro.faults.ecc`), and escalates detected-uncorrectable errors
+into sPPR repair / retry / panic policies
+(:mod:`repro.faults.recovery`).
+
+Importing this package registers the degradation policies in the
+central ``FAULT_POLICIES`` registry; the declarative
+:class:`~repro.spec.FaultSpec` builds injectors through
+:func:`build_injector` so engine cache keys and CLI flags share one
+definition of a fault-injection run.
+"""
+
+from __future__ import annotations
+
+from repro.faults.ecc import (
+    CORRECTED,
+    MASKED,
+    SILENT,
+    UNCORRECTABLE,
+    EccConfig,
+    EccModel,
+    classify,
+)
+from repro.faults.inject import FaultInjector
+from repro.faults.recovery import (
+    RecoveryConfig,
+    RecoveryPipeline,
+)
+from repro.rowhammer.model import HammerConfig
+
+
+def build_injector(spec) -> FaultInjector:
+    """Build a :class:`FaultInjector` from a ``FaultSpec``.
+
+    Lives here (not on the spec) so :mod:`repro.spec` stays import-light;
+    ``FaultSpec.build()`` delegates to this function lazily.
+    """
+    hammer = HammerConfig(
+        hcnt=spec.hcnt,
+        blast_radius=spec.blast_radius,
+        refresh_hammers_neighbors=spec.refresh_hammers_neighbors,
+    )
+    ecc = EccConfig(
+        data_bits=spec.data_bits,
+        check_bits=spec.check_bits,
+        codewords_per_row=spec.codewords_per_row,
+    )
+    recovery = RecoveryConfig(
+        policy=spec.policy,
+        max_retries=spec.max_retries,
+    )
+    return FaultInjector(
+        hammer, ecc=ecc, recovery=recovery, seed=spec.seed,
+        scrub_on_refresh=spec.scrub_on_refresh,
+    )
+
+
+__all__ = [
+    "CORRECTED",
+    "EccConfig",
+    "EccModel",
+    "FaultInjector",
+    "MASKED",
+    "RecoveryConfig",
+    "RecoveryPipeline",
+    "SILENT",
+    "UNCORRECTABLE",
+    "build_injector",
+    "classify",
+]

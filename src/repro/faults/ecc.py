@@ -1,0 +1,166 @@
+"""Per-codeword SEC-DED ECC error accounting.
+
+Server DDR4/DDR5 DIMMs protect each 64-bit data word with an 8-bit
+Hamming extension (a (72,64) SEC-DED code): any single bit error in a
+codeword is corrected on read, any double bit error is detected but not
+correctable, and three or more flipped bits alias -- the syndrome either
+looks clean or points at an innocent bit, so the error is *silent*
+(possibly made worse by a miscorrection).
+
+This module keeps the minimal state that classification needs: for each
+physical row, the set of flipped bit positions per codeword.  Rows with
+no flips carry no state, so the model costs nothing until the
+disturbance model actually crosses ``H_cnt``.  Classification happens
+*per injected bit* -- the interesting quantity for the red-team harness
+is the transition a flip causes (clean -> correctable -> detected
+uncorrectable -> silent), because the detected-uncorrectable transition
+is the moment a real machine takes its recovery action.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Set, Tuple
+
+#: Classification of one injected bit by its codeword's new error count.
+CORRECTED = "corrected"          # k = 1: fixed transparently on read
+UNCORRECTABLE = "uncorrectable"  # k = 2: detected, machine must react
+SILENT = "silent"                # k >= 3: syndrome aliases; undetected
+MASKED = "masked"                # the cell was already flipped (no-op)
+
+
+@dataclass(frozen=True)
+class EccConfig:
+    """Shape of the code protecting one DRAM row."""
+
+    data_bits: int = 64        # payload bits per codeword
+    check_bits: int = 8        # Hamming + overall-parity bits
+    #: Codewords per row: an 8 KB row is 1024 64-bit data words.
+    codewords_per_row: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.data_bits <= 0:
+            raise ValueError("data_bits must be positive")
+        if self.check_bits <= 0:
+            raise ValueError("check_bits must be positive")
+        if self.codewords_per_row <= 0:
+            raise ValueError("codewords_per_row must be positive")
+
+    @property
+    def codeword_bits(self) -> int:
+        """Total bits per codeword (data + check, all flippable)."""
+        return self.data_bits + self.check_bits
+
+
+def classify(flipped_in_codeword: int) -> str:
+    """SEC-DED outcome for a codeword carrying ``k`` flipped bits."""
+    if flipped_in_codeword < 0:
+        raise ValueError("flip count must be non-negative")
+    if flipped_in_codeword <= 1:
+        return CORRECTED
+    if flipped_in_codeword == 2:
+        return UNCORRECTABLE
+    return SILENT
+
+
+class EccModel:
+    """Flipped-bit positions per (row, codeword), with scrub semantics.
+
+    Keys are opaque row identities (the injector uses ``(BankAddress,
+    da_row)`` tuples).  The model is purely structural -- counters and
+    policy live in the caller -- so it is cheap to reason about:
+
+    * :meth:`inject` adds one flipped bit and returns the transition;
+    * :meth:`scrub_row` models a patrol-scrub pass: every codeword with
+      a single flipped bit is corrected and its state dropped, while
+      multi-bit codewords stay broken (SEC-DED cannot fix them);
+    * :meth:`move_row` follows an in-DRAM row copy: the data -- flipped
+      bits included -- now lives in the destination physical row;
+    * :meth:`clear_row` / :meth:`clear_all` model repair and reboot.
+    """
+
+    def __init__(self, config: EccConfig):
+        self.config = config
+        self._rows: Dict[object, Dict[int, Set[int]]] = {}
+
+    def __len__(self) -> int:
+        """Rows currently carrying at least one flipped bit."""
+        return len(self._rows)
+
+    def inject(self, row_key, codeword: int, bit: int) -> str:
+        """Flip one bit; returns the transition classification.
+
+        A RowHammer flip discharges a cell; flipping the same cell again
+        is a no-op (:data:`MASKED`), which is exactly what the birthday
+        statistics of repeated injection need.
+        """
+        if not 0 <= codeword < self.config.codewords_per_row:
+            raise ValueError("codeword index out of range")
+        if not 0 <= bit < self.config.codeword_bits:
+            raise ValueError("bit index out of range")
+        codewords = self._rows.setdefault(row_key, {})
+        bits = codewords.setdefault(codeword, set())
+        if bit in bits:
+            return MASKED
+        bits.add(bit)
+        return classify(len(bits))
+
+    def flipped_bits(self, row_key) -> int:
+        """Total flipped bits currently resident in ``row_key``."""
+        return sum(len(bits)
+                   for bits in self._rows.get(row_key, {}).values())
+
+    def worst_codeword(self, row_key) -> int:
+        """Highest per-codeword flip count in ``row_key`` (0 if clean)."""
+        codewords = self._rows.get(row_key)
+        if not codewords:
+            return 0
+        return max(len(bits) for bits in codewords.values())
+
+    def scrub_row(self, row_key) -> Tuple[int, int]:
+        """Patrol-scrub one row: fix single-bit codewords.
+
+        Returns ``(codewords_corrected, codewords_still_broken)``.  Rows
+        with no remaining state are dropped entirely.
+        """
+        codewords = self._rows.get(row_key)
+        if not codewords:
+            return 0, 0
+        corrected = [cw for cw, bits in codewords.items()
+                     if len(bits) == 1]
+        for cw in corrected:
+            del codewords[cw]
+        if not codewords:
+            del self._rows[row_key]
+        return len(corrected), len(codewords)
+
+    def move_row(self, src_key, dst_key) -> None:
+        """An in-DRAM copy moved the data (errors included) to ``dst``.
+
+        The source physical row is left logically free; whatever error
+        state the destination held is overwritten by the copy.
+        """
+        state = self._rows.pop(src_key, None)
+        if state:
+            self._rows[dst_key] = state
+        else:
+            self._rows.pop(dst_key, None)
+
+    def clear_row(self, row_key) -> None:
+        """Drop a row's error state (repaired or rewritten)."""
+        self._rows.pop(row_key, None)
+
+    def clear_all(self) -> None:
+        """Reboot semantics: memory is reloaded, all errors gone."""
+        self._rows.clear()
+
+
+__all__ = [
+    "CORRECTED",
+    "EccConfig",
+    "EccModel",
+    "MASKED",
+    "SILENT",
+    "UNCORRECTABLE",
+    "classify",
+]

@@ -1,0 +1,193 @@
+"""Graceful-degradation policies for detected-uncorrectable errors.
+
+When ECC reports a detected-uncorrectable error (two flipped bits in
+one codeword), a real platform has to *do* something: the OS or the
+memory controller retires the page/row, firmware burns a spare row via
+soft post-package repair (sPPR), the access is retried after a targeted
+refresh, or -- when nothing else is left -- the machine panics so that
+silent data corruption cannot propagate.
+
+The :class:`RecoveryPipeline` owns the sPPR resource ledger
+(:class:`~repro.dram.sppr.SpprState`) and applies one registered policy
+per run.  Policies are looked up through the central
+``FAULT_POLICIES`` registry so CLI validation, did-you-mean errors and
+per-run selection follow the same path as schemes and workloads.
+
+Every policy resolves an uncorrectable error to one *action* string the
+injector acts on:
+
+``retired``
+    the faulty row was remapped to a spare; future flips in it are
+    absorbed by the repair.
+``retry``
+    the access is replayed after a targeted refresh; the error stands
+    (RowHammer flips are hard until the row is rewritten), but the
+    machine soldiers on until the per-row retry budget is gone.
+``panic``
+    the machine halts and power-cycles; all volatile state -- including
+    sPPR soft repairs, which do not survive a power cycle -- is reset.
+``recorded``
+    nothing was done (measurement-only runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dram.device import BankAddress
+from repro.dram.sppr import SpprConfig, SpprState
+from repro.spec.registry import FAULT_POLICIES
+
+#: Action strings a policy may return.
+RETIRED = "retired"
+RETRY = "retry"
+PANIC = "panic"
+RECORDED = "recorded"
+
+#: Degradation events kept verbatim; beyond this only counters grow.
+MAX_EVENTS = 256
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """Per-run recovery selection."""
+
+    policy: str = "retire"
+    #: ``refresh-retry`` gives up on a row after this many replays.
+    max_retries: int = 3
+    sppr: SpprConfig = field(default_factory=SpprConfig)
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        FAULT_POLICIES.resolve(self.policy)
+
+
+class RecoveryPipeline:
+    """sPPR ledger + one degradation policy + a bounded event log."""
+
+    def __init__(self, config: Optional[RecoveryConfig] = None):
+        # The default is built lazily: evaluating ``RecoveryConfig()``
+        # at class-definition time would validate the policy name before
+        # this module's registrations below have run.
+        config = config if config is not None else RecoveryConfig()
+        self.config = config
+        self.policy = FAULT_POLICIES.build(config.policy)
+        self.sppr = SpprState(config=config.sppr)
+        self.repairs = 0
+        self.retries = 0
+        self.panics = 0
+        self.sppr_exhausted = 0
+        self.events_total = 0
+        self.events: List[Dict] = []
+        self.panicked = False
+        self._retries_used: Dict[Tuple[BankAddress, int], int] = {}
+
+    def record(self, kind: str, addr: BankAddress, da_row: int,
+               cycle: int) -> None:
+        """Append one degradation event (log bounded, count exact)."""
+        self.events_total += 1
+        if len(self.events) < MAX_EVENTS:
+            self.events.append({
+                "kind": kind,
+                "bank": f"{addr.channel}.{addr.rank}.{addr.bank}",
+                "da_row": da_row,
+                "cycle": cycle,
+            })
+
+    def on_uncorrectable(self, addr: BankAddress, da_row: int,
+                         cycle: int) -> str:
+        """Dispatch one detected-uncorrectable error to the policy."""
+        return self.policy.apply(self, addr, da_row, cycle)
+
+    def panic(self, addr: BankAddress, da_row: int, cycle: int) -> str:
+        """Halt and power-cycle: the terminal escalation of any policy.
+
+        sPPR *soft* repairs are volatile by definition, so the power
+        cycle both releases the spare-row budget and un-maps every
+        repair made so far -- this is the real caller for
+        :meth:`SpprState.power_cycle`.
+        """
+        self.panics += 1
+        self.panicked = True
+        self.record("panic", addr, da_row, cycle)
+        self.sppr.power_cycle()
+        self._retries_used.clear()
+        return PANIC
+
+
+class RetireRow:
+    """Burn an sPPR spare for the faulty row; panic once spares run out."""
+
+    def apply(self, pipe: RecoveryPipeline, addr: BankAddress,
+              da_row: int, cycle: int) -> str:
+        try:
+            pipe.sppr.repair(addr, da_row)
+        except RuntimeError:
+            pipe.sppr_exhausted += 1
+            pipe.record("sppr-exhausted", addr, da_row, cycle)
+            return pipe.panic(addr, da_row, cycle)
+        pipe.repairs += 1
+        pipe.record("retire", addr, da_row, cycle)
+        return RETIRED
+
+
+class RefreshRetry:
+    """Replay after a targeted refresh, up to ``max_retries`` per row.
+
+    RowHammer flips are hard until the row is rewritten, so the retry
+    never clears the error -- the policy models availability-first
+    platforms that keep serving until the budget is exhausted, then
+    escalate to a panic.
+    """
+
+    def apply(self, pipe: RecoveryPipeline, addr: BankAddress,
+              da_row: int, cycle: int) -> str:
+        key = (addr, da_row)
+        used = pipe._retries_used.get(key, 0)
+        if used < pipe.config.max_retries:
+            pipe._retries_used[key] = used + 1
+            pipe.retries += 1
+            pipe.record("refresh-retry", addr, da_row, cycle)
+            return RETRY
+        pipe.record("retry-exhausted", addr, da_row, cycle)
+        return pipe.panic(addr, da_row, cycle)
+
+
+class PanicOnly:
+    """Fail-stop: any detected-uncorrectable error halts the machine."""
+
+    def apply(self, pipe: RecoveryPipeline, addr: BankAddress,
+              da_row: int, cycle: int) -> str:
+        return pipe.panic(addr, da_row, cycle)
+
+
+class RecordOnly:
+    """Measurement-only: log the event, change nothing."""
+
+    def apply(self, pipe: RecoveryPipeline, addr: BankAddress,
+              da_row: int, cycle: int) -> str:
+        pipe.record("uncorrectable", addr, da_row, cycle)
+        return RECORDED
+
+
+FAULT_POLICIES.register("retire", RetireRow)
+FAULT_POLICIES.register("refresh-retry", RefreshRetry)
+FAULT_POLICIES.register("panic", PanicOnly)
+FAULT_POLICIES.register("none", RecordOnly)
+
+
+__all__ = [
+    "MAX_EVENTS",
+    "PANIC",
+    "PanicOnly",
+    "RECORDED",
+    "RETIRED",
+    "RETRY",
+    "RecordOnly",
+    "RecoveryConfig",
+    "RecoveryPipeline",
+    "RefreshRetry",
+    "RetireRow",
+]

@@ -17,6 +17,24 @@ Section III taxonomy allows:
 The MC applies each effect on the correct resource, and reports all
 row-touching side effects to the Row Hammer fault model so that security
 experiments observe exactly what the timing experiments charge for.
+
+Observer contract (what the fault model sees, in DA space):
+
+* every issued ACT -> ``observer.on_activate`` with the post-translate
+  DA row, so a remapping scheme's shuffled hot rows are charged where
+  the device actually activates them;
+* :attr:`ActOutcome.trr_rows`, :attr:`ActOutcome.restored_rows` and
+  :attr:`RfmOutcome.refreshed_rows` -> ``observer.on_row_refresh``
+  (targeted recharge: the row's accumulated disturbance resets);
+* :attr:`RfmOutcome.copies` -> ``observer.on_row_copy`` (disturbance
+  and any injected bit flips travel with the row's content);
+* each auto-refresh sweep segment -> ``observer.on_refresh_range``.
+
+With ``refresh_hammers_neighbors`` enabled in the fault model, targeted
+refreshes are themselves half-rate aggressors (the Half-Double lever),
+so a TRR scheme's own victim refreshes can disturb rows one further
+out.  Observers never return timing -- the injector is passive, and the
+bench gate asserts cycle-for-cycle equality with the observer detached.
 """
 
 from __future__ import annotations

@@ -142,6 +142,12 @@ def collect_summary(system, result=None) -> Dict:
     obs = getattr(system, "obs", None)
     if obs is not None and obs.metrics is not None:
         summary["metrics"] = obs.metrics.snapshot()
+    # A fault injector on the controller's observer seam contributes its
+    # end-of-run report (injection counts, degradation events).
+    observer = getattr(mc, "observer", None)
+    report = getattr(observer, "report", None)
+    if report is not None:
+        summary["faults"] = report()
     return summary
 
 

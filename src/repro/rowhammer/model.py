@@ -80,6 +80,17 @@ class BitFlip:
     disturbance: float
 
 
+#: Neighbour lists and their blast weights depend only on the
+#: (immutable, hashable) layout and radius, so they are shared across
+#: model instances process-wide.  Short runs touch a few hundred rows in
+#: ~1000 ACTs; a per-instance memo would spend half the injector's time
+#: rebuilding the same geometry every run.
+_NEIGHBORS_CACHE: Dict[Tuple[SubarrayLayout, int],
+                       Dict[int, List[Tuple[int, int]]]] = {}
+_CHARGES_CACHE: Dict[Tuple[SubarrayLayout, int],
+                     Dict[int, List[Tuple[int, float]]]] = {}
+
+
 class DisturbanceModel:
     """Per-row weighted disturbance counters with reset semantics.
 
@@ -91,34 +102,60 @@ class DisturbanceModel:
     def __init__(self, config: HammerConfig,
                  record_all_flips: bool = False):
         self.config = config
-        self._counters: Dict[Tuple[BankAddress, int], float] = {}
+        # Two-level: bank -> {da_row -> disturbance}.  Hashing a frozen
+        # BankAddress dataclass costs more than the dict op it keys, so
+        # the hot hooks hash it once per call, not once per row.
+        self._counters: Dict[BankAddress, Dict[int, float]] = {}
         self.flips: List[BitFlip] = []
         self._flipped: set = set()
         self._record_all = record_all_flips
         self.total_acts = 0
+        cache_key = (config.layout, config.blast_radius)
+        self._neighbors = _NEIGHBORS_CACHE.setdefault(cache_key, {})
+        self._charges = _CHARGES_CACHE.setdefault(cache_key, {})
+
+    def _da_neighbors(self, da_row: int) -> List[Tuple[int, int]]:
+        neighbors = self._neighbors.get(da_row)
+        if neighbors is None:
+            neighbors = self.config.layout.da_neighbors(
+                da_row, self.config.blast_radius)
+            self._neighbors[da_row] = neighbors
+        return neighbors
+
+    def _da_charges(self, da_row: int) -> List[Tuple[int, float]]:
+        charges = self._charges.get(da_row)
+        if charges is None:
+            charges = [(victim, blast_weight(distance))
+                       for victim, distance in self._da_neighbors(da_row)]
+            self._charges[da_row] = charges
+        return charges
 
     # -- observer interface -------------------------------------------------------
 
     def on_activate(self, addr: BankAddress, da_row: int, cycle: int) -> None:
         """Charge disturbance to the neighbours; restore the row itself."""
         self.total_acts += 1
-        layout = self.config.layout
+        bank = self._counters.get(addr)
+        if bank is None:
+            bank = self._counters[addr] = {}
         # Activation restores the aggressor's own cells.
-        self._counters.pop((addr, da_row), None)
-        for victim, distance in layout.da_neighbors(
-                da_row, self.config.blast_radius):
-            key = (addr, victim)
-            value = self._counters.get(key, 0.0) + blast_weight(distance)
-            self._counters[key] = value
-            if value >= self.config.hcnt:
+        bank.pop(da_row, None)
+        hcnt = self.config.hcnt
+        for victim, weight in self._da_charges(da_row):
+            value = bank.get(victim, 0.0) + weight
+            bank[victim] = value
+            if value >= hcnt:
                 self._record_flip(addr, victim, cycle, value)
 
     def on_refresh_range(self, addr: BankAddress, lo: int, hi: int,
                          cycle: int) -> None:
         """Auto-refresh of DA rows ``[lo, hi)`` (wrapping modulo the bank)."""
+        bank = self._counters.get(addr)
+        if not bank:
+            return
         rows = self.config.layout.da_rows_per_bank
         for r in range(lo, hi):
-            self._counters.pop((addr, r % rows), None)
+            bank.pop(r % rows, None)
 
     def on_row_refresh(self, addr: BankAddress, da_row: int,
                        cycle: int) -> None:
@@ -128,14 +165,17 @@ class DisturbanceModel:
         charges the refreshed row's own neighbours, exactly like the
         activation it physically is (the Half-Double lever).
         """
-        self._counters.pop((addr, da_row), None)
+        bank = self._counters.get(addr)
+        if bank is not None:
+            bank.pop(da_row, None)
         if self.config.refresh_hammers_neighbors:
-            for victim, distance in self.config.layout.da_neighbors(
-                    da_row, self.config.blast_radius):
-                key = (addr, victim)
-                value = self._counters.get(key, 0.0) + blast_weight(distance)
-                self._counters[key] = value
-                if value >= self.config.hcnt:
+            if bank is None:
+                bank = self._counters[addr] = {}
+            hcnt = self.config.hcnt
+            for victim, weight in self._da_charges(da_row):
+                value = bank.get(victim, 0.0) + weight
+                bank[victim] = value
+                if value >= hcnt:
                     self._record_flip(addr, victim, cycle, value)
 
     def on_row_copy(self, addr: BankAddress, src: int, dst: int,
@@ -147,8 +187,10 @@ class DisturbanceModel:
         *logical* data moved, but disturbance counters belong to physical
         cells, so both physical rows reset.
         """
-        self._counters.pop((addr, src), None)
-        self._counters.pop((addr, dst), None)
+        bank = self._counters.get(addr)
+        if bank:
+            bank.pop(src, None)
+            bank.pop(dst, None)
 
     # -- results --------------------------------------------------------------------
 
@@ -160,10 +202,12 @@ class DisturbanceModel:
         return self.flips[0] if self.flips else None
 
     def disturbance(self, addr: BankAddress, da_row: int) -> float:
-        return self._counters.get((addr, da_row), 0.0)
+        bank = self._counters.get(addr)
+        return bank.get(da_row, 0.0) if bank else 0.0
 
     def max_disturbance(self) -> float:
-        return max(self._counters.values(), default=0.0)
+        return max((value for bank in self._counters.values()
+                    for value in bank.values()), default=0.0)
 
     def reset(self) -> None:
         self._counters.clear()

@@ -122,20 +122,27 @@ class System:
         # Traces are materialized up front (exactly the per-thread
         # request budget, gaps pre-converted to cycles): the hot loop's
         # issue path indexes a list instead of resuming a generator.
+        # Profiles exposing ``trace_generator`` (the adversarial hammer
+        # profiles) supply their own stream; everything else takes the
+        # statistical TraceGenerator path unchanged.
         tck_ns = self.config.timing.tck_ns
-        self.threads = [
-            ThreadState(
-                thread_id=i,
-                ops=TraceGenerator(
+        self.threads = []
+        for i, profile in enumerate(profiles):
+            make = getattr(profile, "trace_generator", None)
+            if make is not None:
+                generator = make(self.mapping, i, self.config.seed,
+                                 self.config.cpu_ghz)
+            else:
+                generator = TraceGenerator(
                     profile, self.mapping, thread_id=i,
-                    seed=self.config.seed,
-                    cpu_ghz=self.config.cpu_ghz).materialize(
-                        self.config.requests_per_thread, tck_ns),
+                    seed=self.config.seed, cpu_ghz=self.config.cpu_ghz)
+            self.threads.append(ThreadState(
+                thread_id=i,
+                ops=generator.materialize(
+                    self.config.requests_per_thread, tck_ns),
                 request_budget=self.config.requests_per_thread,
                 tck_ns=tck_ns,
-                mlp=self.config.mlp)
-            for i, profile in enumerate(profiles)
-        ]
+                mlp=self.config.mlp))
 
     # -- the event loop --------------------------------------------------------------
 

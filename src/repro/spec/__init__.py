@@ -13,6 +13,7 @@ See DESIGN.md section 11 for the architecture and cache-key derivation.
 
 from repro.spec.base import SpecBase, freeze, freeze_params, thaw, thaw_params
 from repro.spec.registry import (
+    FAULT_POLICIES,
     Registry,
     SCHEMES,
     TIMINGS,
@@ -21,17 +22,21 @@ from repro.spec.registry import (
 )
 from repro.spec.specs import (
     ExperimentSpec,
+    FaultSpec,
     PointSpec,
     SchemeSpec,
     SimSpec,
     TimingSpec,
     WorkloadSpec,
+    fault_spec,
     scheme_spec,
     workload_spec,
 )
 
 __all__ = [
     "ExperimentSpec",
+    "FAULT_POLICIES",
+    "FaultSpec",
     "PointSpec",
     "Registry",
     "SCHEMES",
@@ -43,6 +48,7 @@ __all__ = [
     "UnknownNameError",
     "WORKLOADS",
     "WorkloadSpec",
+    "fault_spec",
     "freeze",
     "freeze_params",
     "scheme_spec",

@@ -160,8 +160,13 @@ WORKLOADS = Registry("workload", providers=("repro.workloads",))
 #: JEDEC timing parameter sets by speed-grade name.
 TIMINGS = Registry("timing", providers=("repro.dram.timing",))
 
+#: Graceful-degradation policies for detected-uncorrectable ECC errors
+#: (``repro.faults`` registers retire / refresh-retry / panic / none).
+FAULT_POLICIES = Registry("fault policy", providers=("repro.faults",))
+
 
 __all__ = [
+    "FAULT_POLICIES",
     "POLICIES",
     "Registry",
     "SCHEMES",

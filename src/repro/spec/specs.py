@@ -35,7 +35,7 @@ from repro.spec.base import (
     thaw,
     thaw_params,
 )
-from repro.spec.registry import SCHEMES, TIMINGS, WORKLOADS
+from repro.spec.registry import FAULT_POLICIES, SCHEMES, TIMINGS, WORKLOADS
 
 
 @dataclass(frozen=True)
@@ -194,6 +194,72 @@ class SimSpec(SpecBase):
 
 
 @dataclass(frozen=True)
+class FaultSpec(SpecBase):
+    """A fault-injection run named declaratively.
+
+    Describes one :class:`~repro.faults.inject.FaultInjector`: the
+    disturbance threshold and blast radius, the SEC-DED code shape, and
+    the graceful-degradation policy (validated against the central
+    ``FAULT_POLICIES`` registry).  Jobs carrying a ``FaultSpec`` fold it
+    into their cache key; jobs without one keep their historical key.
+    """
+
+    hcnt: int = 4096
+    blast_radius: int = 3
+    policy: str = "retire"
+    seed: int = 1
+    data_bits: int = 64
+    check_bits: int = 8
+    codewords_per_row: int = 1024
+    max_retries: int = 3
+    scrub_on_refresh: bool = True
+    refresh_hammers_neighbors: bool = False
+
+    def __post_init__(self) -> None:
+        if self.hcnt <= 0:
+            raise ValueError("hcnt must be positive")
+        if self.blast_radius < 0:
+            raise ValueError("blast_radius must be non-negative")
+        FAULT_POLICIES.resolve(self.policy)
+
+    def build(self):
+        """A fresh :class:`~repro.faults.inject.FaultInjector`."""
+        from repro.faults import build_injector
+        return build_injector(self)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "hcnt": self.hcnt,
+            "blast_radius": self.blast_radius,
+            "policy": self.policy,
+            "seed": self.seed,
+            "data_bits": self.data_bits,
+            "check_bits": self.check_bits,
+            "codewords_per_row": self.codewords_per_row,
+            "max_retries": self.max_retries,
+            "scrub_on_refresh": self.scrub_on_refresh,
+            "refresh_hammers_neighbors": self.refresh_hammers_neighbors,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultSpec":
+        defaults = cls()
+        return cls(**{
+            name: payload.get(name, getattr(defaults, name))
+            for name in (
+                "hcnt", "blast_radius", "policy", "seed", "data_bits",
+                "check_bits", "codewords_per_row", "max_retries",
+                "scrub_on_refresh", "refresh_hammers_neighbors",
+            )
+        })
+
+
+def fault_spec(**params: Any) -> FaultSpec:
+    """Convenience constructor mirroring :func:`scheme_spec`."""
+    return FaultSpec(**params)
+
+
+@dataclass(frozen=True)
 class PointSpec(SpecBase):
     """One cell of an experiment grid.
 
@@ -283,11 +349,13 @@ class ExperimentSpec(SpecBase):
 
 __all__ = [
     "ExperimentSpec",
+    "FaultSpec",
     "PointSpec",
     "SchemeSpec",
     "SimSpec",
     "TimingSpec",
     "WorkloadSpec",
+    "fault_spec",
     "freeze",
     "scheme_spec",
     "thaw",

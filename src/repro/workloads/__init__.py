@@ -95,6 +95,14 @@ def _random_stream(mpki: float = 150.0, threads: int = 1):
 def _pointer_chase(mpki: float = 30.0, threads: int = 1):
     return [pointer_chase_profile(mpki)] * threads
 
+
+@_WORKLOADS.register("hammer")
+def _hammer(attack: str = "double-sided", victim_row: int = 260,
+            sides: int = 9, radius: int = 2, threads: int = 1):
+    from repro.workloads.hammer import hammer_profile
+    return [hammer_profile(attack, victim_row=victim_row,
+                           sides=sides, radius=radius)] * threads
+
 __all__ = [
     "FileTrace",
     "GAPBS_PROFILES",

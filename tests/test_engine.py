@@ -663,3 +663,55 @@ class TestConfigsBugfix:
     def test_explicit_requests_respected(self):
         fc = fidelity_config("smoke")
         assert fc.system_config(requests=17).requests_per_thread == 17
+
+
+class TestFaultJobWiring:
+    """Fault-injection jobs: cache identity, result round-trip."""
+
+    def test_faults_key_absent_without_spec(self):
+        # Back-compat guarantee: jobs without injection must keep the
+        # cache identity they had before the field existed.
+        p = SPEC_PROFILES["mcf"]
+        job = alone_job(p, BASELINE, small_config())
+        assert "faults" not in job.spec
+
+    def test_fault_spec_differentiates_jobs(self):
+        from repro.spec import fault_spec
+        p = SPEC_PROFILES["mcf"]
+        plain = alone_job(p, BASELINE, small_config())
+        faulty = dataclasses.replace(plain, faults=fault_spec(hcnt=64))
+        assert plain != faulty
+        assert faulty.spec["faults"]["hcnt"] == 64
+        other = dataclasses.replace(plain, faults=fault_spec(hcnt=128))
+        assert faulty != other
+
+    def test_job_result_faults_round_trip(self):
+        payload = {k: 0 for k in (
+            "cycles", "reads_completed", "requests_issued", "refreshes",
+            "rfms", "acts", "precharges", "reads", "writes", "row_hits",
+            "row_misses", "row_conflicts", "extra_act_cycles")}
+        payload.update(thread_finish_cycles=[1], mitigation_name="none",
+                       tck_ns=0.75)
+        # Old cache entries predate the field entirely.
+        assert JobResult.from_dict(dict(payload)).faults is None
+        report = {"counts": {"uncorrectable": 2}, "panicked": False}
+        result = JobResult.from_dict(dict(payload, faults=report))
+        assert result.faults == report
+        assert JobResult.from_dict(result.to_dict()).faults == report
+
+    def test_executed_fault_job_reports_injection(self):
+        from repro.spec import fault_spec
+        from repro.workloads.hammer import hammer_profile
+        job = Job(
+            profiles=(hammer_profile("double-sided", victim_row=260),),
+            scheme=scheme_spec("none"),
+            config=SystemConfig(requests_per_thread=300, mlp=1, seed=3),
+            faults=fault_spec(hcnt=64, seed=3))
+        result = JobResult.from_dict(_execute(job))
+        assert result.faults is not None
+        assert result.faults["counts"]["bits_injected"] > 0
+        assert result.metrics["faults"]["counts"] == \
+            result.faults["counts"]
+        # The same job without injection carries no report.
+        plain = dataclasses.replace(job, faults=None)
+        assert JobResult.from_dict(_execute(plain)).faults is None

@@ -1,0 +1,111 @@
+"""Property tests for the disturbance model's threat-model invariants.
+
+The three assumptions everything downstream (security models, the
+red-team harness, the analytic bounds) leans on, checked over random
+geometries and activation sequences rather than hand-picked examples:
+
+1. blast weight halves per wordline of distance (and is monotone);
+2. disturbance never crosses a subarray boundary;
+3. activating a row restores it -- its own accumulated disturbance is
+   gone, no matter what history preceded the activation.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.device import BankAddress
+from repro.dram.subarray import SubarrayLayout
+from repro.rowhammer.model import (
+    DisturbanceModel,
+    HammerConfig,
+    blast_weight,
+)
+
+ADDR = BankAddress(0, 0, 0)
+
+layouts = st.builds(
+    SubarrayLayout,
+    subarrays_per_bank=st.integers(min_value=2, max_value=8),
+    rows_per_subarray=st.integers(min_value=8, max_value=64))
+
+
+def make(layout, radius=3, hcnt=10**9):
+    # hcnt high enough that no flip path interferes with the property.
+    return DisturbanceModel(HammerConfig(
+        hcnt=hcnt, blast_radius=radius, layout=layout))
+
+
+class TestBlastWeightProperties:
+    @given(st.integers(min_value=1, max_value=60))
+    @settings(max_examples=30)
+    def test_halves_per_wordline(self, distance):
+        assert blast_weight(distance + 1) == blast_weight(distance) / 2
+
+    @given(st.integers(min_value=1, max_value=60))
+    @settings(max_examples=30)
+    def test_strictly_monotone_decreasing(self, distance):
+        assert blast_weight(distance + 1) < blast_weight(distance)
+        assert 0 < blast_weight(distance) <= 1.0
+
+
+class TestSubarrayConfinement:
+    @given(layouts,
+           st.integers(min_value=0, max_value=10**6),
+           st.integers(min_value=1, max_value=6),
+           st.integers(min_value=1, max_value=40))
+    @settings(max_examples=60, deadline=None)
+    def test_disturbance_never_crosses_subarray(
+            self, layout, row_seed, radius, acts):
+        model = make(layout, radius=radius)
+        aggressor = row_seed % layout.da_rows_per_bank
+        for cycle in range(acts):
+            model.on_activate(ADDR, aggressor, cycle)
+        home = layout.subarray_of_da(aggressor)
+        for row in range(layout.da_rows_per_bank):
+            if layout.subarray_of_da(row) != home:
+                assert model.disturbance(ADDR, row) == 0.0
+
+    @given(layouts, st.integers(min_value=1, max_value=6))
+    @settings(max_examples=30, deadline=None)
+    def test_boundary_rows_have_one_sided_neighbourhoods(
+            self, layout, radius):
+        # The first DA slot of subarray 1 must not list any subarray-0
+        # row as a neighbour however large the radius.
+        lo, hi = layout.da_range(1)
+        for row, _ in layout.da_neighbors(lo, radius):
+            assert lo <= row < hi
+
+
+class TestResetOnActivate:
+    @given(layouts,
+           st.lists(st.integers(min_value=0, max_value=10**6),
+                    min_size=1, max_size=40),
+           st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=60, deadline=None)
+    def test_activation_restores_the_row(self, layout, history, target):
+        # Whatever disturbance history a row accumulated, activating it
+        # zeroes its own counter (while charging its neighbours).
+        model = make(layout)
+        rows = layout.da_rows_per_bank
+        for cycle, row_seed in enumerate(history):
+            model.on_activate(ADDR, row_seed % rows, cycle)
+        row = target % rows
+        model.on_activate(ADDR, row, len(history))
+        assert model.disturbance(ADDR, row) == 0.0
+
+    @given(layouts, st.integers(min_value=0, max_value=10**6),
+           st.integers(min_value=2, max_value=20))
+    @settings(max_examples=30, deadline=None)
+    def test_repeat_activation_is_idempotent_on_self(
+            self, layout, row_seed, repeats):
+        # N activations of the same row leave the row itself at zero
+        # (reset is idempotent) while the neighbours accumulate
+        # linearly -- the asymmetry RowHammer exploits.
+        model = make(layout)
+        row = row_seed % layout.da_rows_per_bank
+        for cycle in range(repeats):
+            model.on_activate(ADDR, row, cycle)
+        assert model.disturbance(ADDR, row) == 0.0
+        for victim, distance in layout.da_neighbors(row, 3):
+            assert model.disturbance(ADDR, victim) == \
+                repeats * blast_weight(distance)

@@ -1,0 +1,79 @@
+"""Red-team harness: grid construction and end-to-end discrimination."""
+
+import json
+
+from repro.experiments.engine import Engine
+from repro.experiments.redteam import (
+    FULL_ATTACKS,
+    SMOKE_ATTACKS,
+    jobs,
+    redteam_schemes,
+    render,
+    run,
+)
+
+
+class TestGrid:
+    def test_smoke_grid_is_the_ci_pair(self):
+        grid = jobs("smoke")
+        assert set(grid) == {("none", "double-sided"),
+                             ("shadow", "double-sided")}
+        assert redteam_schemes("smoke") == ["none", "shadow"]
+
+    def test_full_grid_covers_the_zoo(self):
+        grid = jobs("full")
+        schemes = {scheme for scheme, _ in grid}
+        attacks = {attack for _, attack in grid}
+        assert "none" in schemes and "shadow" in schemes
+        assert len(schemes) > 5
+        assert attacks == set(FULL_ATTACKS)
+
+    def test_requests_sized_to_attack_efficiency(self):
+        grid = jobs("full", hcnt=1024)
+        per_attack = {attack: job.config.requests_per_thread
+                      for (scheme, attack), job in grid.items()
+                      if scheme == "none"}
+        # Every pattern gets at least threshold + headroom...
+        for attack, requests in per_attack.items():
+            assert requests > 1024, attack
+        # ... and dilute patterns proportionally more raw activations.
+        assert per_attack["many-sided"] > per_attack["double-sided"]
+
+    def test_jobs_carry_fault_specs_and_serial_acts(self):
+        for (_, attack), job in jobs("smoke", hcnt=64).items():
+            assert job.faults is not None
+            assert job.faults.hcnt == 64
+            assert job.config.mlp == 1     # no FR-FCFS batching
+            assert "faults" in job.spec
+
+    def test_half_double_jobs_enable_refresh_hammering(self):
+        grid = jobs("full", hcnt=64)
+        assert grid[("none", "half-double")].faults \
+            .refresh_hammers_neighbors
+        assert not grid[("none", "double-sided")].faults \
+            .refresh_hammers_neighbors
+
+
+class TestEndToEnd:
+    def test_smoke_discriminates_none_from_shadow(self):
+        # The CI check at unit-test scale: same trace, same seed, tiny
+        # hcnt -- the undefended baseline takes an uncorrectable flip,
+        # SHADOW takes none.
+        report = run("smoke", engine=Engine(use_cache=False), hcnt=192,
+                     seed=1)
+        assert report["attacks"] == list(SMOKE_ATTACKS)
+        none_entry = report["schemes"]["none"]["double-sided"]
+        shadow_entry = report["schemes"]["shadow"]["double-sided"]
+        assert none_entry["uncorrectable"] >= 1
+        assert none_entry["time_to_first_flip_ns"] > 0
+        assert shadow_entry["bits_injected"] == 0
+        assert shadow_entry["time_to_first_flip_ns"] is None
+        assert "failures" not in report
+
+    def test_report_is_json_able_and_renders(self):
+        report = run("smoke", engine=Engine(use_cache=False), hcnt=192,
+                     seed=1)
+        json.dumps(report)
+        table = render(report)
+        assert "none" in table and "shadow" in table
+        assert "double-sided" in table

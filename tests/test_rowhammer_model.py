@@ -151,3 +151,54 @@ class TestValidation:
             HammerConfig(hcnt=0)
         with pytest.raises(ValueError):
             HammerConfig(hcnt=10, blast_radius=-1)
+
+
+class TestIncrementalRefreshSweep:
+    """Regression: a REF-by-REF sweep must reset every DA it covers.
+
+    The controller refreshes each bank in consecutive ``[lo, hi)``
+    windows (wrapping modulo the bank); after one full pass every
+    accumulated counter must be gone.  Runs against both the base model
+    and the FaultInjector subclass, whose on_refresh_range inlines the
+    sweep for speed -- exactly the kind of duplication this pins.
+    """
+
+    def _models(self, hcnt=10**6):
+        from repro.faults.inject import FaultInjector
+        config = HammerConfig(hcnt=hcnt, blast_radius=3, layout=LAYOUT)
+        return [DisturbanceModel(config), FaultInjector(config)]
+
+    def test_swept_das_reset_unswept_keep_accumulating(self):
+        for model in self._models():
+            for i in range(8):
+                model.on_activate(ADDR, 10, cycle=i)   # victims 7..13
+            model.on_refresh_range(ADDR, 7, 11, cycle=8)
+            for row in (7, 8, 9, 10):
+                assert model.disturbance(ADDR, row) == 0.0
+            for row in (11, 12, 13):
+                assert model.disturbance(ADDR, row) > 0.0
+
+    def test_full_incremental_pass_clears_the_bank(self):
+        rows = LAYOUT.da_rows_per_bank
+        window = 16
+        for model in self._models():
+            for i in range(8):
+                model.on_activate(ADDR, 10, cycle=i)
+                model.on_activate(ADDR, 40, cycle=i)
+            assert model.max_disturbance() > 0.0
+            # One tREFW worth of REFs: consecutive wrapping windows.
+            lo = rows - 5                 # start mid-wrap on purpose
+            for _ in range((rows + window - 1) // window + 1):
+                model.on_refresh_range(ADDR, lo, lo + window, cycle=9)
+                lo = (lo + window) % rows
+            assert model.max_disturbance() == 0.0
+
+    def test_sweep_only_touches_the_named_bank(self):
+        other = BankAddress(0, 0, 1)
+        for model in self._models():
+            model.on_activate(ADDR, 10, cycle=0)
+            model.on_activate(other, 10, cycle=0)
+            model.on_refresh_range(ADDR, 0, LAYOUT.da_rows_per_bank,
+                                   cycle=1)
+            assert model.disturbance(ADDR, 11) == 0.0
+            assert model.disturbance(other, 11) == 1.0

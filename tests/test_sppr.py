@@ -1,0 +1,112 @@
+"""sPPR resource pool: repair limits, power-cycle, pipeline wiring."""
+
+import pytest
+
+from repro.dram.device import BankAddress
+from repro.dram.sppr import SpprConfig, SpprState
+from repro.faults.recovery import (
+    PANIC,
+    RETIRED,
+    RecoveryConfig,
+    RecoveryPipeline,
+)
+
+BANK0 = BankAddress(0, 0, 0)
+BANK1 = BankAddress(0, 0, 1)
+BANK2 = BankAddress(0, 0, 2)
+OTHER_GROUP = BankAddress(0, 0, 4)   # banks 4..7 with banks_per_group=4
+
+
+class TestSpprState:
+    def test_repair_allocates_spares_in_order(self):
+        state = SpprState()
+        assert state.repair(BANK0, 100) == 0
+        assert state.repair(BANK0, 200) == 1
+        assert state.resolve(BANK0, 100) == 0
+        assert state.resolve(BANK0, 999) is None
+        assert state.repairs_used(BANK0) == 2
+
+    def test_repeat_repair_is_idempotent(self):
+        state = SpprState()
+        assert state.repair(BANK0, 100) == 0
+        assert state.repair(BANK0, 100) == 0
+        assert state.repairs_used(BANK0) == 1
+        assert state.group_repairs_used(BANK0) == 1
+
+    def test_per_bank_spare_exhaustion_raises(self):
+        state = SpprState(config=SpprConfig(spare_rows_per_bank=2,
+                                            repairs_per_bank_group=8))
+        state.repair(BANK0, 1)
+        state.repair(BANK0, 2)
+        assert not state.can_repair(BANK0)
+        with pytest.raises(RuntimeError):
+            state.repair(BANK0, 3)
+        # Other banks in the group still have their own spares.
+        assert state.can_repair(BANK1)
+
+    def test_group_limit_spans_banks(self):
+        state = SpprState(config=SpprConfig(spare_rows_per_bank=2,
+                                            repairs_per_bank_group=3))
+        state.repair(BANK0, 1)
+        state.repair(BANK0, 2)
+        state.repair(BANK1, 1)
+        # Bank 2 has free spares, but the group budget (3) is spent.
+        assert state.repairs_used(BANK2) == 0
+        assert not state.can_repair(BANK2)
+        with pytest.raises(RuntimeError):
+            state.repair(BANK2, 1)
+        # A different bank group is unaffected.
+        assert state.can_repair(OTHER_GROUP)
+        state.repair(OTHER_GROUP, 1)
+
+    def test_power_cycle_releases_everything(self):
+        state = SpprState(config=SpprConfig(spare_rows_per_bank=1,
+                                            repairs_per_bank_group=1))
+        state.repair(BANK0, 7)
+        assert not state.can_repair(BANK0)
+        state.power_cycle()
+        assert state.resolve(BANK0, 7) is None
+        assert state.can_repair(BANK0)
+        assert state.group_repairs_used(BANK0) == 0
+        # The freed budget is genuinely reusable.
+        assert state.repair(BANK0, 8) == 0
+
+    def test_row_validation(self):
+        with pytest.raises(ValueError):
+            SpprState().repair(BANK0, -1)
+        with pytest.raises(ValueError):
+            SpprConfig(spare_rows_per_bank=0)
+
+    def test_donatable_rows(self):
+        state = SpprState(config=SpprConfig(spare_rows_per_bank=2))
+        assert state.donatable_rows_per_subarray(16) == 0.125
+        with pytest.raises(ValueError):
+            state.donatable_rows_per_subarray(0)
+
+
+class TestPipelineWiring:
+    """The recovery pipeline is the real caller of repair/power_cycle."""
+
+    def test_retire_consumes_the_ledger(self):
+        pipe = RecoveryPipeline(RecoveryConfig(
+            policy="retire",
+            sppr=SpprConfig(spare_rows_per_bank=2,
+                            repairs_per_bank_group=8)))
+        assert pipe.on_uncorrectable(BANK0, 10, 1) == RETIRED
+        assert pipe.on_uncorrectable(BANK0, 11, 2) == RETIRED
+        assert pipe.sppr.repairs_used(BANK0) == 2
+        assert pipe.repairs == 2
+
+    def test_exhaustion_panic_power_cycles_the_ledger(self):
+        pipe = RecoveryPipeline(RecoveryConfig(
+            policy="retire",
+            sppr=SpprConfig(spare_rows_per_bank=1,
+                            repairs_per_bank_group=1)))
+        pipe.on_uncorrectable(BANK0, 10, 1)
+        assert pipe.on_uncorrectable(BANK0, 11, 2) == PANIC
+        # panic() called SpprState.power_cycle(): soft repairs are
+        # volatile, so the ledger is empty and capacity is back.
+        assert pipe.sppr.repairs_used(BANK0) == 0
+        assert pipe.sppr.can_repair(BANK0)
+        kinds = [e["kind"] for e in pipe.events]
+        assert kinds == ["retire", "sppr-exhausted", "panic"]
